@@ -1,0 +1,49 @@
+// Ablation: ST-Encoder grouping (Sec. 3.2.1's "# groups" hyperparameter).
+//
+// One group x 8 qubits encodes all 256 values in a single register; two
+// groups x 7 qubits (14 total, still within the paper's 16-qubit budget)
+// encode each source-pair separately with inter-group CU3 communication.
+// Reduced training budget: the 14-qubit state is 64x larger.
+#include "bench_common.h"
+
+int main() {
+  using namespace qugeo;
+  bench::print_header(
+      "Ablation: encoder grouping (1 group x 8 qubits vs 2 groups x 7 qubits)",
+      "design-space study behind Sec. 3.2.1 / Fig. 2 '# groups'");
+  bench::Setup setup = bench::standard_setup();
+  // The grouped model simulates 14 qubits (a 64x larger state); trim the
+  // budget so the sweep stays minutes-fast at default scale.
+  setup.train.epochs = std::max<std::size_t>(12, setup.train.epochs / 8);
+  bench::print_run_scale(setup);
+
+  struct Variant {
+    const char* label;
+    std::vector<Index> groups;
+    std::size_t blocks;
+  };
+  // Roughly parameter-matched: 12 blocks x 48 params vs 6 blocks x 84+.
+  const Variant variants[] = {
+      {"1 group  x 8 qubits", {8}, 12},
+      {"2 groups x 7 qubits", {7, 7}, 6},
+  };
+
+  std::printf("\n%-22s | %-7s | %-7s | %-8s | %-10s\n", "Encoder", "Qubits",
+              "Params", "SSIM", "MSE");
+  std::printf("-----------------------+---------+---------+----------+-----------\n");
+  for (const Variant& v : variants) {
+    core::ExperimentSpec spec;
+    spec.dataset = "Q-D-FW";
+    spec.decoder = core::DecoderKind::kLayer;
+    spec.group_data_qubits = v.groups;
+    spec.blocks = v.blocks;
+    spec.entangle_every = 2;
+    const auto r = run_vqc_experiment(setup.data, spec, setup.train);
+    std::size_t qubits = 0;
+    for (Index g : v.groups) qubits += g;
+    std::printf("%-22s | %7zu | %7zu | %8.4f | %10.3e\n", v.label, qubits,
+                r.param_count, r.train.final_ssim, r.train.final_mse);
+  }
+  std::printf("\nBoth configurations fit the paper's <=16-qubit device budget.\n");
+  return 0;
+}

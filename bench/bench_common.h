@@ -1,0 +1,45 @@
+// Shared plumbing for the per-figure/per-table experiment harnesses.
+//
+// Every harness loads the same cached corpus (built on first use) and the
+// training budget from the environment, so `QUGEO_SAMPLES=500 QUGEO_TRAIN=400
+// QUGEO_EPOCHS=500 ./bench_fig8_decoders` reproduces the paper-scale run
+// recorded in EXPERIMENTS.md while the default stays minutes-fast.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "data/cache.h"
+
+namespace qugeo::bench {
+
+struct Setup {
+  data::ExperimentData data;
+  core::TrainConfig train;
+};
+
+inline Setup standard_setup() {
+  Setup s{data::load_or_build_experiment_data(data::experiment_config_from_env()),
+          {}};
+  s.train.epochs = data::epochs_from_env(120);
+  s.train.initial_lr = 0.1;
+  return s;
+}
+
+inline void print_header(const char* title, const char* paper_numbers) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_numbers);
+  std::printf("================================================================\n");
+}
+
+inline void print_run_scale(const Setup& s) {
+  const std::size_t total = s.data.dsample.size();
+  std::printf("[scale] samples=%zu (train=%zu test=%zu) epochs=%zu "
+              "(paper: 500 samples, 400/100, 500 epochs)\n",
+              total, s.data.train_count, total - s.data.train_count,
+              s.train.epochs);
+}
+
+}  // namespace qugeo::bench

@@ -1,0 +1,74 @@
+// Microbenchmarks of the seismic substrate: FDTD throughput vs grid size
+// and stencil order, plus the two acquisition scales of QuGeoData.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "seismic/forward_modeling.h"
+
+namespace {
+
+using namespace qugeo;
+
+void BM_FdtdStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int order = static_cast<int>(state.range(1));
+  const seismic::VelocityModel m(seismic::Grid2D{n, n, 10, 10}, 3000.0);
+  seismic::FdtdConfig cfg;
+  cfg.space_order = order;
+  cfg.dt = 0.8 * seismic::max_stable_dt(m, order);
+  cfg.nt = 50;
+  const seismic::RickerWavelet w(15.0);
+  const seismic::ReceiverLine rec = seismic::make_receiver_line(n, 8);
+  for (auto _ : state) {
+    const auto g = seismic::simulate_shot(m, {0, n / 2}, w, rec, cfg);
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50 *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_FdtdStep)
+    ->Args({70, 2})
+    ->Args({70, 4})
+    ->Args({70, 8})
+    ->Args({140, 4});
+
+void BM_FullScaleShot(benchmark::State& state) {
+  // One OpenFWI-scale shot: 70x70 grid, 1000 steps, 70 receivers.
+  Rng rng(1);
+  const auto m = seismic::generate_flatvel(seismic::FlatVelConfig{}, rng);
+  const seismic::Acquisition acq = seismic::openfwi_acquisition();
+  seismic::FdtdConfig cfg = acq.fdtd;
+  cfg.dt = 1e-3;
+  cfg.nt = 1000;
+  const seismic::RickerWavelet w(acq.wavelet_freq_hz);
+  const seismic::ReceiverLine rec = seismic::make_receiver_line(70, 70);
+  for (auto _ : state) {
+    const auto g = seismic::simulate_shot(m, {0, 35}, w, rec, cfg);
+    benchmark::DoNotOptimize(g.data().data());
+  }
+}
+BENCHMARK(BM_FullScaleShot)->Unit(benchmark::kMillisecond);
+
+void BM_QuantumScaleRemodel(benchmark::State& state) {
+  // The Q-D-FW scaling path for one sample (Sec. 3.1.1).
+  Rng rng(2);
+  const auto m = seismic::generate_flatvel(seismic::FlatVelConfig{}, rng);
+  const seismic::Acquisition acq = seismic::quantum_acquisition();
+  for (auto _ : state) {
+    const auto d = seismic::physics_guided_remodel(m, 8, 8, acq, 8);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+}
+BENCHMARK(BM_QuantumScaleRemodel)->Unit(benchmark::kMillisecond);
+
+void BM_FlatVelGeneration(benchmark::State& state) {
+  Rng rng(3);
+  const seismic::FlatVelConfig cfg;
+  for (auto _ : state) {
+    const auto m = seismic::generate_flatvel(cfg, rng);
+    benchmark::DoNotOptimize(m.data().data());
+  }
+}
+BENCHMARK(BM_FlatVelGeneration);
+
+}  // namespace

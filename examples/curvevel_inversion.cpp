@@ -1,0 +1,68 @@
+// CurveVel extension (Sec. 3.2.3): the layer-wise decoder generalizes to
+// non-flat subsurfaces — media between curved interfaces share a velocity,
+// so one value per row is still a good prior as long as interface
+// undulation is mild. This example builds a curved-layer corpus with the
+// same acquisition, trains Q-M-LY on it, and compares against the flat
+// corpus to show where the flat-layer prior starts to pay a price.
+//
+// Run:  ./curvevel_inversion
+#include <cstdio>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace qugeo;
+
+data::ExperimentData build_corpus(bool curved, std::size_t n, Rng& rng) {
+  const seismic::Acquisition acq = seismic::openfwi_acquisition();
+  data::RawDataset raw;
+  raw.acquisition = acq;
+  raw.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data::RawSample s{curved ? seismic::generate_curvevel({}, rng)
+                             : seismic::generate_flatvel({}, rng),
+                      {}};
+    s.seismic = seismic::model_shots(s.velocity, acq);
+    raw.samples.push_back(std::move(s));
+  }
+  const data::ForwardModelScaler scaler;
+  data::ExperimentData d;
+  d.qdfw = scaler.scale_dataset(raw, data::ScaleTarget{});
+  d.dsample = d.qdcnn = d.qdfw;
+  d.train_count = n * 3 / 4;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QuGeo on curved geology (Sec. 3.2.3 generalization)\n\n");
+  std::printf("building flat and curved corpora (28 samples each)...\n");
+  Rng rng(31);
+  const data::ExperimentData flat = build_corpus(false, 28, rng);
+  const data::ExperimentData curved = build_corpus(true, 28, rng);
+
+  core::TrainConfig tc;
+  tc.epochs = 60;
+  core::ExperimentSpec spec;
+  spec.dataset = "Q-D-FW";
+  spec.decoder = core::DecoderKind::kLayer;
+
+  std::printf("training Q-M-LY on each...\n\n");
+  const auto r_flat = run_vqc_experiment(flat, spec, tc);
+  const auto r_curved = run_vqc_experiment(curved, spec, tc);
+
+  std::printf("%-22s | %-8s | %-10s\n", "Geology", "SSIM", "MSE");
+  std::printf("-----------------------+----------+-----------\n");
+  std::printf("%-22s | %8.4f | %10.3e\n", "flat layers (FlatVel)",
+              r_flat.train.final_ssim, r_flat.train.final_mse);
+  std::printf("%-22s | %8.4f | %10.3e\n", "curved layers (CurveVel)",
+              r_curved.train.final_ssim, r_curved.train.final_mse);
+
+  std::printf("\nThe row-wise decoder tolerates mild curvature (media between "
+              "curves share velocity); stronger undulation would need the "
+              "multi-variable curve predictor the paper sketches as future "
+              "work.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// QuBatch demo (Sec. 3.3): process 2^N seismic samples in ONE circuit
+// execution using only N extra qubits, and verify the block-diagonal
+// U (x) I structure gives each sample exactly the result it would get
+// alone (up to the joint-normalization precision cost the paper analyzes).
+//
+// Run:  ./qubatch_parallel
+#include <cmath>
+#include <cstdio>
+
+#include "core/ansatz.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "qsim/executor.h"
+
+int main() {
+  using namespace qugeo;
+  std::printf("QuBatch: SIMD on a quantum circuit\n\n");
+
+  Rng rng(3);
+  std::vector<std::vector<Real>> samples(4, std::vector<Real>(256));
+  for (auto& s : samples) rng.fill_uniform(s, -1, 1);
+
+  // Reference: each sample alone on the plain 8-qubit model.
+  const core::QubitLayout plain({8}, 0);
+  core::AnsatzConfig acfg;
+  const qsim::Circuit circuit_plain = build_qugeo_ansatz(plain, acfg);
+  std::vector<Real> params(circuit_plain.num_params());
+  rng.fill_uniform(params, -1, 1);
+
+  const core::StEncoder enc_plain(plain);
+  const core::LayerDecoder dec_plain(plain, plain.data_qubits(), 8, 8);
+  std::vector<std::vector<Real>> solo(4);
+  for (int i = 0; i < 4; ++i) {
+    qsim::StateVector psi = enc_plain.encode_single(samples[i]);
+    qsim::run_circuit(circuit_plain, params, psi);
+    solo[static_cast<std::size_t>(i)] = dec_plain.decode(psi).predictions[0];
+  }
+
+  std::printf("%-8s | %-7s | %-7s | %-9s | %s\n", "batch", "qubits", "extra",
+              "circuits", "max |batched - solo|");
+  std::printf("---------+---------+---------+-----------+---------------------\n");
+  for (Index blog : {Index{0}, Index{1}, Index{2}}) {
+    const core::QubitLayout lay({8}, blog);
+    const qsim::Circuit circuit = build_qugeo_ansatz(lay, acfg);  // same params
+    const core::StEncoder enc(lay);
+    const core::LayerDecoder dec(lay, lay.data_qubits(), 8, 8);
+
+    const std::size_t bs = lay.batch_size();
+    Real max_err = 0;
+    std::size_t circuits = 0;
+    for (std::size_t pos = 0; pos < 4; pos += bs, ++circuits) {
+      std::vector<const std::vector<Real>*> batch;
+      for (std::size_t b = 0; b < bs; ++b) batch.push_back(&samples[pos + b]);
+      qsim::StateVector psi = enc.encode(batch);
+      qsim::run_circuit(circuit, params, psi);
+      const core::DecodeResult r = dec.decode(psi);
+      for (std::size_t b = 0; b < bs; ++b)
+        for (std::size_t k = 0; k < 64; ++k)
+          max_err = std::max(max_err,
+                             std::abs(r.predictions[b][k] - solo[pos + b][k]));
+    }
+    std::printf("%-8zu | %-7zu | %-7zu | %-9zu | %.3e\n", bs,
+                lay.total_qubits(), static_cast<std::size_t>(blog), circuits,
+                max_err);
+  }
+
+  std::printf("\nThe conditional readout reproduces each sample's solo result "
+              "to machine precision here — on hardware the cost is shot noise "
+              "on the renormalized blocks, the 'data precision' tradeoff of "
+              "Sec. 3.3.3.\n");
+
+  // Complexity table of Sec. 3.3.3: O(G log^2 B X) vs O(B X).
+  std::printf("\ncircuit-resource view (G=1 group):\n");
+  std::printf("%-8s | %-14s | %-16s\n", "batch B", "qubits (8+logB)",
+              "executions saved");
+  for (Index blog : {Index{0}, Index{1}, Index{2}, Index{3}, Index{4}}) {
+    const std::size_t B = std::size_t{1} << blog;
+    std::printf("%-8zu | %-14zu | %zux -> 1x\n", B,
+                8 + static_cast<std::size_t>(blog), B);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Wavefield explorer: watch the acoustic wave equation (Eq. 1) propagate
+// through a layered medium — the physics behind every sample in the
+// dataset. Renders ASCII snapshots of the pressure field and the recorded
+// shot gather, and demonstrates the 15 Hz vs 8 Hz source-wavelet choice of
+// QuGeoData.
+//
+// Run:  ./wavefield_explorer
+#include <cmath>
+#include <cstdio>
+
+#include "seismic/forward_modeling.h"
+
+namespace {
+
+using namespace qugeo;
+
+void render_field(const std::vector<Real>& field, std::size_t nz,
+                  std::size_t nx, std::size_t step) {
+  Real peak = 1e-30;
+  for (Real v : field) peak = std::max(peak, std::abs(v));
+  std::printf("  t = step %zu (peak %.2e)\n", step, peak);
+  static const char ramp[] = " .:-=+*#%@";
+  for (std::size_t iz = 0; iz < nz; iz += 2) {
+    std::printf("    ");
+    for (std::size_t ix = 0; ix < nx; ix += 1) {
+      const Real v = std::abs(field[iz * nx + ix]) / peak;
+      const int idx = static_cast<int>(std::sqrt(v) * 9.999);
+      std::printf("%c", ramp[idx > 9 ? 9 : idx]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QuGeo wavefield explorer\n\n");
+
+  // A three-layer medium: slow cap rock over faster basement.
+  seismic::Grid2D grid{60, 60, 10, 10};
+  seismic::VelocityModel model(grid, 1800.0);
+  for (std::size_t iz = 25; iz < 45; ++iz)
+    for (std::size_t ix = 0; ix < 60; ++ix) model.at(iz, ix) = 2800.0;
+  for (std::size_t iz = 45; iz < 60; ++iz)
+    for (std::size_t ix = 0; ix < 60; ++ix) model.at(iz, ix) = 4000.0;
+
+  seismic::FdtdConfig cfg;
+  cfg.space_order = 4;
+  cfg.dt = 0.8 * seismic::max_stable_dt(model, cfg.space_order);
+  cfg.nt = 500;
+  const seismic::RickerWavelet w(15.0);
+
+  std::printf("propagating a 15 Hz Ricker shot (layers at 250 m and 450 m):\n\n");
+  const auto frames =
+      seismic::simulate_wavefield(model, {0, 30}, w, cfg, {120, 240, 400});
+  const std::size_t steps[] = {120, 240, 400};
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    render_field(frames[f], 60, 60, steps[f]);
+    std::printf("\n");
+  }
+
+  // Shot gather at two source frequencies: the QuGeoData adjustment.
+  std::printf("recorded traces at receiver x=500m (note the wider 8 Hz lobe "
+              "that survives coarse resampling):\n\n");
+  seismic::ReceiverLine rec;
+  rec.iz = 0;
+  rec.ix = {50};
+  for (const Real freq : {15.0, 8.0}) {
+    const seismic::RickerWavelet wf(freq);
+    const auto g = seismic::simulate_shot(model, {0, 30}, wf, rec, cfg);
+    Real peak = 1e-30;
+    for (std::size_t t = 0; t < g.nt(); ++t)
+      peak = std::max(peak, std::abs(g.at(t, 0)));
+    std::printf("  %4.0f Hz: ", freq);
+    for (std::size_t t = 0; t < g.nt(); t += 10) {
+      const Real v = g.at(t, 0) / peak;
+      std::printf("%c", v > 0.3 ? '^' : (v < -0.3 ? 'v' : '-'));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nEq. 1 in action: this forward model is exactly what Q-D-FW "
+              "re-runs at 8x8 to build physics-coherent quantum data.\n");
+  return 0;
+}

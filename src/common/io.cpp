@@ -1,0 +1,103 @@
+#include "common/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace qugeo {
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'G', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::filesystem::path& path, const char* mode) {
+  FilePtr f(std::fopen(path.string().c_str(), mode));
+  if (!f) throw std::runtime_error("io: cannot open " + path.string());
+  return f;
+}
+
+void write_or_throw(std::FILE* f, const void* buf, std::size_t bytes) {
+  if (std::fwrite(buf, 1, bytes, f) != bytes)
+    throw std::runtime_error("io: short write");
+}
+
+void read_or_throw(std::FILE* f, void* buf, std::size_t bytes) {
+  if (std::fread(buf, 1, bytes, f) != bytes)
+    throw std::runtime_error("io: short read");
+}
+
+}  // namespace
+
+void save_tensor(const std::filesystem::path& path,
+                 std::span<const Real> data,
+                 std::span<const std::size_t> shape) {
+  std::size_t count = 1;
+  for (std::size_t d : shape) count *= d;
+  if (count != data.size())
+    throw std::invalid_argument("save_tensor: shape does not match data size");
+
+  const FilePtr f = open_or_throw(path, "wb");
+  write_or_throw(f.get(), kMagic, sizeof(kMagic));
+  const std::uint64_t rank = shape.size();
+  write_or_throw(f.get(), &rank, sizeof(rank));
+  for (std::size_t d : shape) {
+    const std::uint64_t d64 = d;
+    write_or_throw(f.get(), &d64, sizeof(d64));
+  }
+  write_or_throw(f.get(), data.data(), data.size() * sizeof(Real));
+}
+
+LoadedTensor load_tensor(const std::filesystem::path& path) {
+  const FilePtr f = open_or_throw(path, "rb");
+  char magic[4];
+  read_or_throw(f.get(), magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_tensor: bad magic in " + path.string());
+
+  std::uint64_t rank = 0;
+  read_or_throw(f.get(), &rank, sizeof(rank));
+  if (rank > 16) throw std::runtime_error("load_tensor: implausible rank");
+
+  LoadedTensor t;
+  t.shape.resize(rank);
+  std::size_t count = 1;
+  for (auto& d : t.shape) {
+    std::uint64_t d64 = 0;
+    read_or_throw(f.get(), &d64, sizeof(d64));
+    d = static_cast<std::size_t>(d64);
+    count *= d;
+  }
+  t.data.resize(count);
+  read_or_throw(f.get(), t.data.data(), count * sizeof(Real));
+  return t;
+}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path,
+                     std::vector<std::string> columns)
+    : columns_(columns.size()) {
+  file_ = std::fopen(path.string().c_str(), "w");
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    std::fprintf(file_, "%s%s", columns[i].c_str(),
+                 i + 1 == columns.size() ? "\n" : ",");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void CsvWriter::append(std::span<const Real> row) {
+  if (row.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < row.size(); ++i)
+    std::fprintf(file_, "%.10g%s", row[i], i + 1 == row.size() ? "\n" : ",");
+}
+
+}  // namespace qugeo

@@ -1,0 +1,46 @@
+// Simple binary tensor and CSV serialization used by benches/examples to
+// persist datasets and training curves.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qugeo {
+
+/// Write a flat real array with a shape header to a little-endian binary
+/// file ("QGT1" magic + rank + dims + float64 payload).
+void save_tensor(const std::filesystem::path& path,
+                 std::span<const Real> data,
+                 std::span<const std::size_t> shape);
+
+/// Loaded tensor payload.
+struct LoadedTensor {
+  std::vector<std::size_t> shape;
+  std::vector<Real> data;
+};
+
+/// Read a tensor written by save_tensor. Throws std::runtime_error on
+/// malformed files.
+[[nodiscard]] LoadedTensor load_tensor(const std::filesystem::path& path);
+
+/// Incremental CSV writer (header row + data rows), for training curves.
+class CsvWriter {
+ public:
+  CsvWriter(const std::filesystem::path& path, std::vector<std::string> columns);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; size must match the header column count.
+  void append(std::span<const Real> row);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace qugeo

@@ -1,0 +1,86 @@
+// Small numeric helpers used across modules.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qugeo {
+
+/// True iff @p x is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x > 0.
+[[nodiscard]] constexpr std::size_t log2_floor(std::size_t x) noexcept {
+  std::size_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Exact log2 of a power of two; throws otherwise.
+[[nodiscard]] inline std::size_t log2_exact(std::size_t x) {
+  if (!is_pow2(x)) throw std::invalid_argument("log2_exact: not a power of two");
+  return log2_floor(x);
+}
+
+/// Smallest power of two >= x (x must be >= 1).
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Euclidean (L2) norm of a real span.
+[[nodiscard]] inline Real l2_norm(std::span<const Real> v) noexcept {
+  Real s = 0;
+  for (Real x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+/// In-place L2 normalization; returns the original norm. A zero vector is
+/// mapped to the |0...0> basis direction (first element 1).
+inline Real normalize_l2(std::span<Real> v) noexcept {
+  const Real n = l2_norm(v);
+  if (n <= std::numeric_limits<Real>::min()) {
+    if (!v.empty()) v[0] = Real(1);
+    for (std::size_t i = 1; i < v.size(); ++i) v[i] = 0;
+    return Real(0);
+  }
+  for (Real& x : v) x /= n;
+  return n;
+}
+
+/// Mean of a span (0 for empty input).
+[[nodiscard]] inline Real mean(std::span<const Real> v) noexcept {
+  if (v.empty()) return 0;
+  return std::accumulate(v.begin(), v.end(), Real(0)) / static_cast<Real>(v.size());
+}
+
+/// Clamp helper mirroring std::clamp with an assertion on the bound order.
+template <typename T>
+[[nodiscard]] constexpr T clamp(T x, T lo, T hi) noexcept {
+  assert(lo <= hi);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Linear interpolation.
+[[nodiscard]] constexpr Real lerp(Real a, Real b, Real t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Approximate floating-point equality with absolute + relative tolerance.
+[[nodiscard]] inline bool approx_equal(Real a, Real b, Real atol = 1e-9,
+                                       Real rtol = 1e-7) noexcept {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace qugeo

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace qugeo {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Real Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<Real>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+Real Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  Real u1 = uniform();
+  while (u1 <= 0) u1 = uniform();
+  const Real u2 = uniform();
+  const Real r = std::sqrt(Real(-2) * std::log(u1));
+  const Real theta = Real(2) * kPi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Real Rng::normal(Real mu, Real sigma) { return mu + sigma * normal(); }
+
+bool Rng::bernoulli(Real p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+void Rng::fill_uniform(std::span<Real> out, Real lo, Real hi) {
+  for (Real& x : out) x = uniform(lo, hi);
+}
+
+void Rng::fill_normal(std::span<Real> out, Real mu, Real sigma) {
+  for (Real& x : out) x = normal(mu, sigma);
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace qugeo

@@ -1,0 +1,24 @@
+// Fundamental scalar and index types shared across all QuGeo modules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qugeo {
+
+/// Real scalar used by the quantum simulator (double for gradient fidelity).
+using Real = double;
+
+/// Complex amplitude type for state vectors and gate matrices.
+using Complex = std::complex<Real>;
+
+/// Real scalar used by the classical NN substrate (float matches PyTorch).
+using F32 = float;
+
+/// Index type for qubit positions and state-vector offsets.
+using Index = std::size_t;
+
+inline constexpr Real kPi = 3.14159265358979323846;
+
+}  // namespace qugeo

@@ -1,0 +1,47 @@
+#include "core/ansatz.h"
+
+namespace qugeo::core {
+namespace {
+
+void append_u3cu3_block(qsim::Circuit& c, const GroupRegister& reg) {
+  for (Index q = 0; q < reg.data_qubits; ++q)
+    c.u3(reg.offset + q, c.new_params(3));
+  if (reg.data_qubits < 2) return;
+  for (Index q = 0; q < reg.data_qubits; ++q) {
+    const Index control = reg.offset + q;
+    const Index target = reg.offset + (q + 1) % reg.data_qubits;
+    c.cu3(control, target, c.new_params(3));
+  }
+}
+
+void append_inter_group(qsim::Circuit& c, const QubitLayout& layout) {
+  for (Index g = 0; g + 1 < layout.num_groups(); ++g) {
+    const GroupRegister& a = layout.group(g);
+    const GroupRegister& b = layout.group(g + 1);
+    // Bridge the top data qubit of one group to the bottom of the next.
+    c.cu3(a.offset + a.data_qubits - 1, b.offset, c.new_params(3));
+    c.cu3(b.offset, a.offset + a.data_qubits - 1, c.new_params(3));
+  }
+}
+
+}  // namespace
+
+qsim::Circuit build_qugeo_ansatz(const QubitLayout& layout,
+                                 const AnsatzConfig& config) {
+  qsim::Circuit c(layout.total_qubits());
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    for (Index g = 0; g < layout.num_groups(); ++g)
+      append_u3cu3_block(c, layout.group(g));
+    if (layout.num_groups() > 1 && config.entangle_every > 0 &&
+        (b + 1) % config.entangle_every == 0)
+      append_inter_group(c, layout);
+  }
+  return c;
+}
+
+std::size_t ansatz_param_count(const QubitLayout& layout,
+                               const AnsatzConfig& config) {
+  return build_qugeo_ansatz(layout, config).num_params();
+}
+
+}  // namespace qugeo::core

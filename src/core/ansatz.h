@@ -1,0 +1,33 @@
+// QuGeoVQC ansatz construction (Sec. 3.2.2).
+//
+// The computing structure follows ST-VQC: an independent sub-VQC per
+// encoder group, with multi-qubit gates gradually communicating between
+// groups. Each block is the TorchQuantum 'U3+CU3' primitive — a U3 on
+// every qubit followed by a CU3 ring — so a single-group 8-qubit, 12-block
+// ansatz carries 12 * 8 * (3 + 3) = 576 trainable parameters, matching the
+// paper's headline model.
+#pragma once
+
+#include "core/layout.h"
+#include "qsim/circuit.h"
+
+namespace qugeo::core {
+
+struct AnsatzConfig {
+  std::size_t blocks = 12;
+  /// Insert inter-group entangling CU3 gates after every k-th block
+  /// (ignored for single-group layouts). 0 disables cross-group gates.
+  std::size_t entangle_every = 3;
+};
+
+/// Build the ansatz on the layout's data qubits (batch qubits are left
+/// untouched — that identity is exactly the U(theta) (x) I structure that
+/// makes QuBatch free, Sec. 3.3.1). All angles are trainable parameters.
+[[nodiscard]] qsim::Circuit build_qugeo_ansatz(const QubitLayout& layout,
+                                               const AnsatzConfig& config);
+
+/// Number of parameters build_qugeo_ansatz will allocate for this shape.
+[[nodiscard]] std::size_t ansatz_param_count(const QubitLayout& layout,
+                                             const AnsatzConfig& config);
+
+}  // namespace qugeo::core

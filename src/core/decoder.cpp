@@ -1,0 +1,208 @@
+#include "core/decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_utils.h"
+
+namespace qugeo::core {
+namespace {
+
+constexpr Real kProbFloor = 1e-12;
+
+std::vector<Index> default_readout(const QubitLayout& layout, std::size_t count) {
+  const auto& dq = layout.data_qubits();
+  if (dq.size() < count)
+    throw std::invalid_argument("decoder: not enough data qubits for readout");
+  return {dq.begin(), dq.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- PixelDecoder --
+
+PixelDecoder::PixelDecoder(const QubitLayout& layout,
+                           std::vector<Index> readout_qubits, std::size_t rows,
+                           std::size_t cols, Real initial_scale)
+    : layout_(&layout),
+      readout_(std::move(readout_qubits)),
+      rows_(rows),
+      cols_(cols),
+      scale_(initial_scale) {
+  if ((std::size_t{1} << readout_.size()) != rows * cols)
+    throw std::invalid_argument("PixelDecoder: need log2(rows*cols) qubits");
+}
+
+DecodeResult PixelDecoder::decode(const qsim::StateVector& psi) const {
+  DecodeResult r;
+  r.probs = psi.probabilities();
+  const Index nblocks = layout_->batch_size();
+  const std::size_t npix = rows_ * cols_;
+  std::vector<std::vector<Real>> marg(nblocks, std::vector<Real>(npix, Real(0)));
+  r.block_prob.assign(nblocks, Real(0));
+  for (Index k = 0; k < r.probs.size(); ++k) {
+    const Index b = layout_->block_of(k);
+    if (b == QubitLayout::kInvalidBlock) continue;
+    Index out = 0;
+    for (Index i = 0; i < readout_.size(); ++i)
+      if (k & (Index{1} << readout_[i])) out |= Index{1} << i;
+    marg[b][out] += r.probs[k];
+    r.block_prob[b] += r.probs[k];
+  }
+  r.predictions.resize(nblocks);
+  r.aux.resize(nblocks);
+  for (Index b = 0; b < nblocks; ++b) {
+    const Real pb = std::max(r.block_prob[b], kProbFloor);
+    std::vector<Real>& cond = r.aux[b];
+    cond.resize(npix);
+    r.predictions[b].resize(npix);
+    for (std::size_t o = 0; o < npix; ++o) {
+      cond[o] = marg[b][o] / pb;
+      r.predictions[b][o] = scale_ * std::sqrt(cond[o]);
+    }
+  }
+  return r;
+}
+
+std::vector<Real> PixelDecoder::probability_grads(
+    const DecodeResult& fwd,
+    std::span<const std::vector<Real>> pred_grads) const {
+  const Index nblocks = layout_->batch_size();
+  const std::size_t npix = rows_ * cols_;
+  // dL/d(marginal mass m_{b,o}) for the conditional cond = m / P.
+  std::vector<std::vector<Real>> dm(nblocks, std::vector<Real>(npix, Real(0)));
+  for (Index b = 0; b < nblocks; ++b) {
+    const Real pb = std::max(fwd.block_prob[b], kProbFloor);
+    const std::vector<Real>& cond = fwd.aux[b];
+    std::vector<Real> dcond(npix);
+    Real dot = 0;
+    for (std::size_t o = 0; o < npix; ++o) {
+      const Real sq = std::max(std::sqrt(cond[o]), Real(1e-6));
+      dcond[o] = pred_grads[b][o] * scale_ / (2 * sq);
+      dot += dcond[o] * cond[o];
+    }
+    for (std::size_t o = 0; o < npix; ++o) dm[b][o] = (dcond[o] - dot) / pb;
+  }
+  std::vector<Real> dp(fwd.probs.size(), Real(0));
+  for (Index k = 0; k < dp.size(); ++k) {
+    const Index b = layout_->block_of(k);
+    if (b == QubitLayout::kInvalidBlock) continue;
+    Index out = 0;
+    for (Index i = 0; i < readout_.size(); ++i)
+      if (k & (Index{1} << readout_[i])) out |= Index{1} << i;
+    dp[k] = dm[b][out];
+  }
+  return dp;
+}
+
+std::vector<Real> PixelDecoder::classical_grads(
+    const DecodeResult& fwd,
+    std::span<const std::vector<Real>> pred_grads) const {
+  Real g = 0;
+  for (Index b = 0; b < layout_->batch_size(); ++b)
+    for (std::size_t o = 0; o < rows_ * cols_; ++o)
+      g += pred_grads[b][o] * std::sqrt(fwd.aux[b][o]);
+  return {g};
+}
+
+// ----------------------------------------------------------- LayerDecoder --
+
+LayerDecoder::LayerDecoder(const QubitLayout& layout,
+                           std::vector<Index> row_qubits, std::size_t rows,
+                           std::size_t cols)
+    : layout_(&layout),
+      row_qubits_(std::move(row_qubits)),
+      rows_(rows),
+      cols_(cols),
+      scale_(rows, Real(1)),
+      bias_(rows, Real(0)) {
+  if (row_qubits_.size() != rows)
+    throw std::invalid_argument("LayerDecoder: need one qubit per row");
+}
+
+DecodeResult LayerDecoder::decode(const qsim::StateVector& psi) const {
+  DecodeResult r;
+  r.probs = psi.probabilities();
+  const Index nblocks = layout_->batch_size();
+  std::vector<std::vector<Real>> acc(nblocks, std::vector<Real>(rows_, Real(0)));
+  r.block_prob.assign(nblocks, Real(0));
+  for (Index k = 0; k < r.probs.size(); ++k) {
+    const Index b = layout_->block_of(k);
+    if (b == QubitLayout::kInvalidBlock) continue;
+    r.block_prob[b] += r.probs[k];
+    for (std::size_t i = 0; i < rows_; ++i)
+      acc[b][i] += ((k >> row_qubits_[i]) & 1) ? -r.probs[k] : r.probs[k];
+  }
+  r.predictions.resize(nblocks);
+  r.aux.resize(nblocks);
+  for (Index b = 0; b < nblocks; ++b) {
+    const Real pb = std::max(r.block_prob[b], kProbFloor);
+    std::vector<Real>& z = r.aux[b];
+    z.resize(rows_);
+    r.predictions[b].assign(rows_ * cols_, Real(0));
+    for (std::size_t i = 0; i < rows_; ++i) {
+      z[i] = acc[b][i] / pb;  // conditional <Z> within the batch block
+      const Real v = scale_[i] * (Real(1) + z[i]) / 2 + bias_[i];
+      for (std::size_t j = 0; j < cols_; ++j)
+        r.predictions[b][i * cols_ + j] = v;
+    }
+  }
+  return r;
+}
+
+std::vector<Real> LayerDecoder::probability_grads(
+    const DecodeResult& fwd,
+    std::span<const std::vector<Real>> pred_grads) const {
+  const Index nblocks = layout_->batch_size();
+  // Row-summed prediction gradients -> dL/dZ per block.
+  std::vector<std::vector<Real>> dz(nblocks, std::vector<Real>(rows_, Real(0)));
+  for (Index b = 0; b < nblocks; ++b)
+    for (std::size_t i = 0; i < rows_; ++i) {
+      Real s = 0;
+      for (std::size_t j = 0; j < cols_; ++j) s += pred_grads[b][i * cols_ + j];
+      dz[b][i] = s * scale_[i] / 2;  // dv/dZ = a_i / 2
+    }
+  std::vector<Real> dp(fwd.probs.size(), Real(0));
+  for (Index k = 0; k < dp.size(); ++k) {
+    const Index b = layout_->block_of(k);
+    if (b == QubitLayout::kInvalidBlock) continue;
+    const Real pb = std::max(fwd.block_prob[b], kProbFloor);
+    Real g = 0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const Real sign = ((k >> row_qubits_[i]) & 1) ? Real(-1) : Real(1);
+      g += dz[b][i] * (sign - fwd.aux[b][i]) / pb;
+    }
+    dp[k] = g;
+  }
+  return dp;
+}
+
+std::vector<Real> LayerDecoder::classical_grads(
+    const DecodeResult& fwd,
+    std::span<const std::vector<Real>> pred_grads) const {
+  std::vector<Real> g(2 * rows_, Real(0));
+  for (Index b = 0; b < layout_->batch_size(); ++b)
+    for (std::size_t i = 0; i < rows_; ++i) {
+      Real s = 0;
+      for (std::size_t j = 0; j < cols_; ++j) s += pred_grads[b][i * cols_ + j];
+      g[i] += s * (Real(1) + fwd.aux[b][i]) / 2;  // d/da_i
+      g[rows_ + i] += s;                          // d/db_i
+    }
+  return g;
+}
+
+std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+                                      const QubitLayout& layout,
+                                      std::size_t rows, std::size_t cols) {
+  switch (kind) {
+    case DecoderKind::kPixel:
+      return std::make_unique<PixelDecoder>(
+          layout, default_readout(layout, log2_exact(rows * cols)), rows, cols);
+    case DecoderKind::kLayer:
+      return std::make_unique<LayerDecoder>(layout, default_readout(layout, rows),
+                                            rows, cols);
+  }
+  throw std::invalid_argument("make_decoder: unknown kind");
+}
+
+}  // namespace qugeo::core

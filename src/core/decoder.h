@@ -1,0 +1,140 @@
+// Velocity-map decoders (Sec. 3.2.3) with QuBatch-aware conditional readout
+// and analytic gradients.
+//
+//  * PixelDecoder ("Q-M-PX"): reads the conditional marginal distribution of
+//    log2(rows*cols) data qubits inside each batch block; the predicted
+//    velocity at pixel k is scale * sqrt(P(k)) — the "magnitude of the
+//    amplitude" readout of the paper, with one trainable classical scale
+//    because probabilities are sum-constrained while velocities are not.
+//  * LayerDecoder ("Q-M-LY"): reads <Z> of one data qubit per velocity-map
+//    row inside each block and maps it to (1 + <Z>)/2 in [0, 1]; the row
+//    value is broadcast across columns (flat-layer prior, Eq. 3).
+//
+// Both decoders expose the same interface: predictions per batch block, and
+// a backward step that converts dL/d(prediction) into dL/dp over the full
+// probability vector (which observables.h turns into a state cotangent).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/layout.h"
+#include "qsim/statevector.h"
+
+namespace qugeo::core {
+
+enum class DecoderKind { kPixel, kLayer };
+
+/// Forward readout cache handed back to backward().
+struct DecodeResult {
+  /// predictions[b] is the flattened rows x cols velocity map of block b.
+  std::vector<std::vector<Real>> predictions;
+  /// Block probabilities P(all batch registers agree on b).
+  std::vector<Real> block_prob;
+  /// Full Born distribution |psi_k|^2 (kept for backward).
+  std::vector<Real> probs;
+  /// Decoder-specific intermediates.
+  std::vector<std::vector<Real>> aux;
+};
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  [[nodiscard]] virtual DecodeResult decode(const qsim::StateVector& psi) const = 0;
+
+  /// Map dL/d(prediction) (one vector per block, shapes as in decode()) to
+  /// dL/dp over the full 2^n probability vector.
+  [[nodiscard]] virtual std::vector<Real> probability_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const = 0;
+
+  [[nodiscard]] virtual DecoderKind kind() const = 0;
+
+  /// Trainable classical parameters of the decoder (PX: the output scale).
+  [[nodiscard]] virtual std::size_t num_classical_params() const { return 0; }
+  [[nodiscard]] virtual Real classical_param(std::size_t) const { return 0; }
+  virtual void set_classical_param(std::size_t, Real) {}
+  /// dL/d(classical param), computed alongside probability_grads.
+  [[nodiscard]] virtual std::vector<Real> classical_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const {
+    (void)fwd;
+    (void)pred_grads;
+    return {};
+  }
+};
+
+class PixelDecoder final : public Decoder {
+ public:
+  /// @param readout_qubits exactly log2(rows*cols) data qubits.
+  PixelDecoder(const QubitLayout& layout, std::vector<Index> readout_qubits,
+               std::size_t rows, std::size_t cols, Real initial_scale = 4.0);
+
+  [[nodiscard]] DecodeResult decode(const qsim::StateVector& psi) const override;
+  [[nodiscard]] std::vector<Real> probability_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const override;
+  [[nodiscard]] DecoderKind kind() const override { return DecoderKind::kPixel; }
+
+  [[nodiscard]] std::size_t num_classical_params() const override { return 1; }
+  [[nodiscard]] Real classical_param(std::size_t) const override { return scale_; }
+  void set_classical_param(std::size_t, Real v) override { scale_ = v; }
+  [[nodiscard]] std::vector<Real> classical_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const override;
+
+ private:
+  const QubitLayout* layout_;
+  std::vector<Index> readout_;
+  std::size_t rows_, cols_;
+  Real scale_;
+};
+
+class LayerDecoder final : public Decoder {
+ public:
+  /// @param row_qubits exactly `rows` data qubits, one per map row.
+  ///
+  /// The row velocity is an affinely calibrated expectation,
+  /// v_i = a_i * (1 + <Z_i>)/2 + b_i, with the 2*rows calibration scalars
+  /// trained alongside the circuit (classical post-processing, mirroring
+  /// the pixel decoder's output scale). a_i = 1, b_i = 0 reproduces the
+  /// plain (1+<Z>)/2 readout.
+  LayerDecoder(const QubitLayout& layout, std::vector<Index> row_qubits,
+               std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] DecodeResult decode(const qsim::StateVector& psi) const override;
+  [[nodiscard]] std::vector<Real> probability_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const override;
+  [[nodiscard]] DecoderKind kind() const override { return DecoderKind::kLayer; }
+
+  [[nodiscard]] std::size_t num_classical_params() const override {
+    return 2 * rows_;
+  }
+  [[nodiscard]] Real classical_param(std::size_t i) const override {
+    return i < rows_ ? scale_[i] : bias_[i - rows_];
+  }
+  void set_classical_param(std::size_t i, Real v) override {
+    (i < rows_ ? scale_[i] : bias_[i - rows_]) = v;
+  }
+  [[nodiscard]] std::vector<Real> classical_grads(
+      const DecodeResult& fwd,
+      std::span<const std::vector<Real>> pred_grads) const override;
+
+ private:
+  const QubitLayout* layout_;
+  std::vector<Index> row_qubits_;
+  std::size_t rows_, cols_;
+  std::vector<Real> scale_;  // a_i, init 1
+  std::vector<Real> bias_;   // b_i, init 0
+};
+
+/// Factory with the default readout choices (first data qubits).
+[[nodiscard]] std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+                                                    const QubitLayout& layout,
+                                                    std::size_t rows,
+                                                    std::size_t cols);
+
+}  // namespace qugeo::core

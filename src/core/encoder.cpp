@@ -1,0 +1,86 @@
+#include "core/encoder.h"
+
+#include <stdexcept>
+
+#include "common/math_utils.h"
+#include "qsim/encoding.h"
+
+namespace qugeo::core {
+
+std::vector<std::vector<Real>> StEncoder::build_register_vectors(
+    std::span<const std::vector<Real>* const> waveforms) const {
+  const QubitLayout& lay = *layout_;
+  if (waveforms.size() != lay.batch_size())
+    throw std::invalid_argument("StEncoder: batch size mismatch");
+  for (const auto* w : waveforms)
+    if (!w || w->size() != lay.sample_size())
+      throw std::invalid_argument("StEncoder: waveform size mismatch");
+
+  std::vector<std::vector<Real>> registers(lay.num_groups());
+  Index chunk_offset = 0;
+  for (Index g = 0; g < lay.num_groups(); ++g) {
+    const GroupRegister& reg = lay.group(g);
+    const Index chunk = reg.data_dim();
+    std::vector<Real>& v = registers[g];
+    v.reserve(chunk * lay.batch_size());
+    // Batch index = high bits of the register, so sample b fills
+    // [b*chunk, (b+1)*chunk) — concatenation in batch order.
+    for (const auto* w : waveforms)
+      v.insert(v.end(), w->begin() + static_cast<std::ptrdiff_t>(chunk_offset),
+               w->begin() + static_cast<std::ptrdiff_t>(chunk_offset + chunk));
+    normalize_l2(v);  // joint normalization across the whole batch
+    chunk_offset += chunk;
+  }
+  return registers;
+}
+
+qsim::StateVector StEncoder::encode(
+    std::span<const std::vector<Real>* const> waveforms) const {
+  const auto registers = build_register_vectors(waveforms);
+  qsim::StateVector psi(layout_->total_qubits());
+  qsim::encode_grouped_amplitudes(registers, psi);
+  return psi;
+}
+
+qsim::StateVector StEncoder::encode_single(std::span<const Real> waveform) const {
+  const std::vector<Real> w(waveform.begin(), waveform.end());
+  const std::vector<Real>* ptr = &w;
+  return encode(std::span<const std::vector<Real>* const>(&ptr, 1));
+}
+
+qsim::Circuit StEncoder::prep_circuit(
+    std::span<const std::vector<Real>* const> waveforms) const {
+  const auto registers = build_register_vectors(waveforms);
+  qsim::Circuit c(layout_->total_qubits());
+  for (Index g = 0; g < layout_->num_groups(); ++g) {
+    qsim::Circuit reg_prep = qsim::state_prep_circuit(registers[g]);
+    // Shift the register circuit onto its global qubit offset.
+    const Index offset = layout_->group(g).offset;
+    for (const qsim::Op& op : reg_prep.ops()) {
+      qsim::Op shifted = op;
+      shifted.qubits[0] += offset;
+      if (qsim::gate_qubit_count(op.kind) == 2) shifted.qubits[1] += offset;
+      switch (shifted.kind) {
+        case qsim::GateKind::kRY:
+          c.ry(shifted.qubits[0], shifted.literals[0]);
+          break;
+        case qsim::GateKind::kCX:
+          c.cx(shifted.qubits[0], shifted.qubits[1]);
+          break;
+        default:
+          throw std::logic_error("StEncoder: unexpected gate in prep circuit");
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<Real> StEncoder::normalized_view(
+    std::span<const std::vector<Real>* const> waveforms) const {
+  const auto registers = build_register_vectors(waveforms);
+  std::vector<Real> flat;
+  for (const auto& r : registers) flat.insert(flat.end(), r.begin(), r.end());
+  return flat;
+}
+
+}  // namespace qugeo::core

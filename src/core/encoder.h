@@ -1,0 +1,52 @@
+// ST-Encoder (Sec. 3.2.1) with QuBatch support (Sec. 3.3).
+//
+// Seismic data is grouped by source (one source = one independent physical
+// event, so its traces are encoded together); each group's values become
+// the amplitudes of its register. With QuBatch, the B samples of a batch
+// are concatenated inside every group register and jointly L2-normalized —
+// the joint normalization is the paper's "data precision" cost of batching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/layout.h"
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+
+namespace qugeo::core {
+
+class StEncoder {
+ public:
+  explicit StEncoder(const QubitLayout& layout) : layout_(&layout) {}
+
+  /// Encode a batch of exactly layout.batch_size() waveforms, each of
+  /// length layout.sample_size() (source-major so groups are contiguous
+  /// chunks). Produces the product-of-registers state described above.
+  [[nodiscard]] qsim::StateVector encode(
+      std::span<const std::vector<Real>* const> waveforms) const;
+
+  /// Convenience overload for an unbatched single sample.
+  [[nodiscard]] qsim::StateVector encode_single(std::span<const Real> waveform) const;
+
+  /// Synthesize an explicit state-preparation circuit for the same batch
+  /// (uniformly controlled RY decomposition per register). Used for depth
+  /// analysis and QASM export; simulation itself uses direct injection.
+  [[nodiscard]] qsim::Circuit prep_circuit(
+      std::span<const std::vector<Real>* const> waveforms) const;
+
+  /// The classical data, as the encoder normalization reshapes it: the
+  /// per-group jointly normalized batch vectors, concatenated. Lets the
+  /// Figure 6 bench measure how much of the waveform survives quantum
+  /// normalization.
+  [[nodiscard]] std::vector<Real> normalized_view(
+      std::span<const std::vector<Real>* const> waveforms) const;
+
+ private:
+  [[nodiscard]] std::vector<std::vector<Real>> build_register_vectors(
+      std::span<const std::vector<Real>* const> waveforms) const;
+
+  const QubitLayout* layout_;
+};
+
+}  // namespace qugeo::core

@@ -1,0 +1,74 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+namespace qugeo::core {
+
+std::string vqc_model_name(DecoderKind kind) {
+  return kind == DecoderKind::kPixel ? "Q-M-PX" : "Q-M-LY";
+}
+
+const data::ScaledDataset& select_dataset(const data::ExperimentData& data,
+                                          const std::string& name) {
+  if (name == "D-Sample") return data.dsample;
+  if (name == "Q-D-FW") return data.qdfw;
+  if (name == "Q-D-CNN") return data.qdcnn;
+  throw std::invalid_argument("select_dataset: unknown dataset " + name);
+}
+
+ExperimentResult run_vqc_experiment(const data::ExperimentData& data,
+                                    const ExperimentSpec& spec,
+                                    const TrainConfig& train_cfg) {
+  const data::ScaledDataset& ds = select_dataset(data, spec.dataset);
+
+  ModelConfig mc;
+  mc.group_data_qubits = spec.group_data_qubits;
+  mc.batch_log2 = spec.batch_log2;
+  mc.ansatz.blocks = spec.blocks;
+  mc.ansatz.entangle_every = spec.entangle_every;
+  mc.decoder = spec.decoder;
+  mc.vel_rows = ds.vel_rows;
+  mc.vel_cols = ds.vel_cols;
+
+  Rng init_rng(spec.init_seed);
+  QuGeoModel model(mc, init_rng);
+
+  ExperimentResult result;
+  result.model_name = vqc_model_name(spec.decoder);
+  result.dataset_name = spec.dataset;
+  result.param_count = model.num_quantum_params();
+  result.train = train_model(model, ds, data.split(), train_cfg);
+  return result;
+}
+
+ExperimentResult run_classical_experiment(const data::ExperimentData& data,
+                                          const std::string& dataset,
+                                          DecoderKind decoder,
+                                          const TrainConfig& train_cfg,
+                                          std::uint64_t init_seed,
+                                          bool inversion_net_reference) {
+  const data::ScaledDataset& ds = select_dataset(data, dataset);
+
+  ClassicalConfig cc;
+  cc.decoder = decoder;
+  cc.nsrc = ds.nsrc;
+  cc.nt = ds.nt;
+  cc.nrec = ds.nrec;
+  cc.vel_rows = ds.vel_rows;
+  cc.vel_cols = ds.vel_cols;
+  cc.inversion_net_reference = inversion_net_reference;
+
+  Rng rng(init_seed);
+  ClassicalFwiNet net(cc, rng);
+
+  ExperimentResult result;
+  result.model_name = inversion_net_reference
+                          ? "INet-ref"
+                          : (decoder == DecoderKind::kPixel ? "CNN-PX" : "CNN-LY");
+  result.dataset_name = dataset;
+  result.param_count = net.param_count();
+  result.train = net.train(ds, data.split(), train_cfg);
+  return result;
+}
+
+}  // namespace qugeo::core

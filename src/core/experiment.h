@@ -1,0 +1,53 @@
+// One-call experiment runner shared by the bench harnesses: pick a scaled
+// dataset, build a QuGeoVQC with the requested decoder / grouping / QuBatch
+// size, train it with the paper's schedule, and return the metrics needed
+// to regenerate the corresponding table or figure.
+#pragma once
+
+#include <string>
+
+#include "core/classical_baseline.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/cache.h"
+
+namespace qugeo::core {
+
+struct ExperimentSpec {
+  std::string dataset = "Q-D-FW";  ///< "D-Sample" | "Q-D-FW" | "Q-D-CNN"
+  DecoderKind decoder = DecoderKind::kLayer;
+  Index batch_log2 = 0;
+  std::vector<Index> group_data_qubits = {8};
+  std::size_t blocks = 12;
+  std::size_t entangle_every = 3;
+  std::uint64_t init_seed = 42;
+};
+
+struct ExperimentResult {
+  std::string model_name;
+  std::string dataset_name;
+  std::size_t param_count = 0;
+  TrainResult train;
+};
+
+/// "Q-M-PX" or "Q-M-LY".
+[[nodiscard]] std::string vqc_model_name(DecoderKind kind);
+
+/// Look up one of the three scaled datasets by the paper's name.
+[[nodiscard]] const data::ScaledDataset& select_dataset(
+    const data::ExperimentData& data, const std::string& name);
+
+/// Train a QuGeoVQC per the spec and return its metrics.
+[[nodiscard]] ExperimentResult run_vqc_experiment(
+    const data::ExperimentData& data, const ExperimentSpec& spec,
+    const TrainConfig& train_cfg);
+
+/// Train a classical CNN baseline (CNN-PX / CNN-LY) on the named dataset.
+/// With `inversion_net_reference` the unconstrained InversionNet-lite
+/// reference is trained instead ("INet-ref" in the reports).
+[[nodiscard]] ExperimentResult run_classical_experiment(
+    const data::ExperimentData& data, const std::string& dataset,
+    DecoderKind decoder, const TrainConfig& train_cfg,
+    std::uint64_t init_seed = 42, bool inversion_net_reference = false);
+
+}  // namespace qugeo::core

@@ -1,0 +1,41 @@
+#include "core/layout.h"
+
+#include <stdexcept>
+
+namespace qugeo::core {
+
+QubitLayout::QubitLayout(std::vector<Index> group_data_qubits, Index batch_log2)
+    : batch_log2_(batch_log2) {
+  if (group_data_qubits.empty())
+    throw std::invalid_argument("QubitLayout: need at least one group");
+  Index offset = 0;
+  for (Index dq : group_data_qubits) {
+    if (dq == 0) throw std::invalid_argument("QubitLayout: empty group");
+    GroupRegister reg;
+    reg.offset = offset;
+    reg.data_qubits = dq;
+    reg.batch_qubits = batch_log2;
+    groups_.push_back(reg);
+    for (Index q = 0; q < dq; ++q) data_qubit_list_.push_back(offset + q);
+    offset += reg.width();
+    sample_size_ += reg.data_dim();
+  }
+  total_qubits_ = offset;
+}
+
+Index QubitLayout::block_of(Index k) const noexcept {
+  if (batch_log2_ == 0) return 0;
+  const Index mask = (Index{1} << batch_log2_) - 1;
+  Index block = kInvalidBlock;
+  for (const GroupRegister& reg : groups_) {
+    const Index b = (k >> (reg.offset + reg.data_qubits)) & mask;
+    if (block == kInvalidBlock) {
+      block = b;
+    } else if (block != b) {
+      return kInvalidBlock;
+    }
+  }
+  return block;
+}
+
+}  // namespace qugeo::core

@@ -1,0 +1,61 @@
+// Qubit layout shared by the ST-Encoder, the QuGeoVQC ansatz, and the
+// decoders.
+//
+// The register map follows the paper's design (Sec. 3.2 + Sec. 3.3):
+// one register per encoder group; inside a register the low qubits hold the
+// amplitude-encoded data and — when QuBatch is active — log2(B) batch
+// qubits sit above them. The paper's qubit overhead of G * log2(B) extra
+// qubits for a batch of B across G groups falls directly out of this map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qugeo::core {
+
+struct GroupRegister {
+  Index offset = 0;       ///< first qubit of the register
+  Index data_qubits = 0;  ///< amplitude-encoding qubits (low part)
+  Index batch_qubits = 0; ///< QuBatch qubits (high part)
+
+  [[nodiscard]] Index width() const noexcept { return data_qubits + batch_qubits; }
+  [[nodiscard]] Index data_dim() const noexcept { return Index{1} << data_qubits; }
+};
+
+class QubitLayout {
+ public:
+  /// @param group_data_qubits  per-group data qubit counts (e.g. {8} or {7,7})
+  /// @param batch_log2         log2 of the QuBatch size (0 = no batching)
+  QubitLayout(std::vector<Index> group_data_qubits, Index batch_log2);
+
+  [[nodiscard]] Index num_groups() const noexcept { return groups_.size(); }
+  [[nodiscard]] const GroupRegister& group(Index g) const { return groups_.at(g); }
+  [[nodiscard]] Index total_qubits() const noexcept { return total_qubits_; }
+  [[nodiscard]] Index batch_log2() const noexcept { return batch_log2_; }
+  [[nodiscard]] Index batch_size() const noexcept { return Index{1} << batch_log2_; }
+
+  /// Total classical values one sample carries (sum of group data dims).
+  [[nodiscard]] Index sample_size() const noexcept { return sample_size_; }
+
+  /// Global indices of all data qubits, group-major, low-to-high.
+  [[nodiscard]] const std::vector<Index>& data_qubits() const noexcept {
+    return data_qubit_list_;
+  }
+
+  /// For a basis state k: the batch index if every group's batch register
+  /// agrees (the diagonal blocks QuBatch reads out), or kInvalidBlock.
+  [[nodiscard]] Index block_of(Index k) const noexcept;
+
+  static constexpr Index kInvalidBlock = ~Index{0};
+
+ private:
+  std::vector<GroupRegister> groups_;
+  std::vector<Index> data_qubit_list_;
+  Index batch_log2_ = 0;
+  Index total_qubits_ = 0;
+  Index sample_size_ = 0;
+};
+
+}  // namespace qugeo::core

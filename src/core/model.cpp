@@ -1,0 +1,120 @@
+#include "core/model.h"
+
+#include <stdexcept>
+
+#include "qsim/executor.h"
+#include "qsim/observables.h"
+
+namespace qugeo::core {
+
+QuGeoModel::QuGeoModel(const ModelConfig& config, Rng& init_rng)
+    : config_(config),
+      layout_(config.group_data_qubits, config.batch_log2),
+      ansatz_(build_qugeo_ansatz(layout_, config.ansatz)),
+      encoder_(layout_),
+      decoder_(make_decoder(config.decoder, layout_, config.vel_rows,
+                            config.vel_cols)) {
+  theta_.resize(ansatz_.num_params());
+  init_rng.fill_uniform(theta_, -config.param_init_range, config.param_init_range);
+}
+
+std::vector<Real> QuGeoModel::parameters() const {
+  std::vector<Real> p = theta_;
+  for (std::size_t i = 0; i < decoder_->num_classical_params(); ++i)
+    p.push_back(decoder_->classical_param(i));
+  return p;
+}
+
+void QuGeoModel::set_parameters(std::span<const Real> params) {
+  if (params.size() != num_params())
+    throw std::invalid_argument("QuGeoModel::set_parameters: size mismatch");
+  std::copy(params.begin(), params.begin() + static_cast<std::ptrdiff_t>(theta_.size()),
+            theta_.begin());
+  for (std::size_t i = 0; i < decoder_->num_classical_params(); ++i)
+    decoder_->set_classical_param(i, params[theta_.size() + i]);
+}
+
+qsim::StateVector QuGeoModel::run_forward(
+    std::span<const data::ScaledSample* const> chunk) const {
+  std::vector<const std::vector<Real>*> waves(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) waves[i] = &chunk[i]->waveform;
+  qsim::StateVector psi = encoder_.encode(waves);
+  qsim::run_circuit(ansatz_, theta_, psi);
+  return psi;
+}
+
+std::vector<std::vector<Real>> QuGeoModel::predict(
+    std::span<const data::ScaledSample* const> samples) const {
+  const std::size_t bs = batch_size();
+  std::vector<std::vector<Real>> out;
+  out.reserve(samples.size());
+  for (std::size_t pos = 0; pos < samples.size(); pos += bs) {
+    std::vector<const data::ScaledSample*> chunk(bs);
+    for (std::size_t b = 0; b < bs; ++b)
+      chunk[b] = samples[std::min(pos + b, samples.size() - 1)];
+    const qsim::StateVector psi = run_forward(chunk);
+    const DecodeResult dec = decoder_->decode(psi);
+    for (std::size_t b = 0; b < bs && pos + b < samples.size(); ++b)
+      out.push_back(dec.predictions[b]);
+  }
+  return out;
+}
+
+Real QuGeoModel::loss_and_gradient(
+    std::span<const data::ScaledSample* const> chunk,
+    std::span<Real> grad_out) const {
+  if (chunk.size() != batch_size())
+    throw std::invalid_argument("loss_and_gradient: chunk must equal batch size");
+  if (grad_out.size() != num_params())
+    throw std::invalid_argument("loss_and_gradient: grad size mismatch");
+
+  qsim::StateVector psi = run_forward(chunk);
+  const DecodeResult dec = decoder_->decode(psi);
+
+  // Sum-of-squares loss per block (Eq. 2 / Eq. 3) and its prediction grads.
+  Real total_loss = 0;
+  std::vector<std::vector<Real>> pred_grads(chunk.size());
+  for (std::size_t b = 0; b < chunk.size(); ++b) {
+    const std::vector<Real>& pred = dec.predictions[b];
+    const std::vector<Real>& target = chunk[b]->velocity;
+    if (pred.size() != target.size())
+      throw std::invalid_argument("loss_and_gradient: target shape mismatch");
+    pred_grads[b].resize(pred.size());
+    for (std::size_t k = 0; k < pred.size(); ++k) {
+      const Real d = pred[k] - target[k];
+      total_loss += d * d;
+      pred_grads[b][k] = 2 * d;
+    }
+  }
+
+  // Decoder backward: dL/d(prediction) -> dL/dp -> state cotangent.
+  const std::vector<Real> dp = decoder_->probability_grads(dec, pred_grads);
+  const std::vector<Complex> cot =
+      qsim::cotangent_from_probability_grads(psi, dp);
+  const qsim::AdjointResult adj =
+      qsim::adjoint_backward(ansatz_, theta_, std::move(psi), cot);
+  for (std::size_t i = 0; i < adj.param_grads.size(); ++i)
+    grad_out[i] += adj.param_grads[i];
+
+  const std::vector<Real> cg = decoder_->classical_grads(dec, pred_grads);
+  for (std::size_t i = 0; i < cg.size(); ++i)
+    grad_out[theta_.size() + i] += cg[i];
+  return total_loss;
+}
+
+Real QuGeoModel::loss(std::span<const data::ScaledSample* const> chunk) const {
+  const qsim::StateVector psi = run_forward(chunk);
+  const DecodeResult dec = decoder_->decode(psi);
+  Real total = 0;
+  for (std::size_t b = 0; b < chunk.size(); ++b) {
+    const std::vector<Real>& pred = dec.predictions[b];
+    const std::vector<Real>& target = chunk[b]->velocity;
+    for (std::size_t k = 0; k < pred.size(); ++k) {
+      const Real d = pred[k] - target[k];
+      total += d * d;
+    }
+  }
+  return total;
+}
+
+}  // namespace qugeo::core

@@ -1,0 +1,83 @@
+// QuGeoModel: encoder + ansatz + decoder, end to end.
+//
+// forward: waveform batch --StEncoder--> |psi_in> --ansatz(theta)--> |psi>
+//          --Decoder--> predicted velocity maps.
+// backward: loss cotangent --Decoder.probability_grads--> dL/dp
+//          --observables--> dL/d(conj psi) --adjoint_backward--> dL/dtheta.
+//
+// The model owns its trainable parameters: the ansatz angle table plus the
+// decoder's classical parameters (the pixel decoder's output scale).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ansatz.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/layout.h"
+#include "data/dataset.h"
+#include "qsim/circuit.h"
+
+namespace qugeo::core {
+
+struct ModelConfig {
+  /// Data qubits per encoder group; the product of 2^sizes must equal the
+  /// waveform length (default: one 8-qubit group for 256 values).
+  std::vector<Index> group_data_qubits = {8};
+  Index batch_log2 = 0;  ///< QuBatch: process 2^b samples per circuit
+  AnsatzConfig ansatz;
+  DecoderKind decoder = DecoderKind::kLayer;
+  std::size_t vel_rows = 8;
+  std::size_t vel_cols = 8;
+  Real param_init_range = 0.1;  ///< angles ~ U(-r, r) at initialization
+};
+
+class QuGeoModel {
+ public:
+  QuGeoModel(const ModelConfig& config, Rng& init_rng);
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const QubitLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const qsim::Circuit& ansatz() const noexcept { return ansatz_; }
+  [[nodiscard]] Index batch_size() const noexcept { return layout_.batch_size(); }
+
+  /// Quantum + classical trainable parameter counts.
+  [[nodiscard]] std::size_t num_quantum_params() const { return ansatz_.num_params(); }
+  [[nodiscard]] std::size_t num_params() const {
+    return num_quantum_params() + decoder_->num_classical_params();
+  }
+
+  /// Flat parameter view (quantum angles then classical decoder params).
+  [[nodiscard]] std::vector<Real> parameters() const;
+  void set_parameters(std::span<const Real> params);
+
+  /// Predict velocity maps for any number of samples; batching chunks are
+  /// handled internally (the final chunk is padded by repetition).
+  [[nodiscard]] std::vector<std::vector<Real>> predict(
+      std::span<const data::ScaledSample* const> samples) const;
+
+  /// Sum-of-squares loss (Eq. 2 / Eq. 3) and gradient over one QuBatch
+  /// chunk of exactly batch_size() samples. Gradients are ADDED into
+  /// `grad_out` (size num_params()). Returns the summed loss.
+  Real loss_and_gradient(std::span<const data::ScaledSample* const> chunk,
+                         std::span<Real> grad_out) const;
+
+  /// Loss only (for tests and line searches).
+  [[nodiscard]] Real loss(std::span<const data::ScaledSample* const> chunk) const;
+
+ private:
+  [[nodiscard]] qsim::StateVector run_forward(
+      std::span<const data::ScaledSample* const> chunk) const;
+
+  ModelConfig config_;
+  QubitLayout layout_;
+  qsim::Circuit ansatz_;
+  StEncoder encoder_;
+  std::unique_ptr<Decoder> decoder_;
+  std::vector<Real> theta_;
+};
+
+}  // namespace qugeo::core

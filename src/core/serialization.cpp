@@ -1,0 +1,52 @@
+#include "core/serialization.h"
+
+#include <stdexcept>
+
+#include "common/io.h"
+
+namespace qugeo::core {
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const ModelConfig& config) {
+  std::uint64_t h = 0;
+  for (Index g : config.group_data_qubits) mix(h, g);
+  mix(h, config.batch_log2);
+  mix(h, config.ansatz.blocks);
+  mix(h, config.ansatz.entangle_every);
+  mix(h, static_cast<std::uint64_t>(config.decoder));
+  mix(h, config.vel_rows);
+  mix(h, config.vel_cols);
+  // Keep within double's exact-integer range: the fingerprint rides in the
+  // float64 tensor payload.
+  return h & ((std::uint64_t{1} << 52) - 1);
+}
+
+void save_model(const std::filesystem::path& path, const QuGeoModel& model) {
+  const auto params = model.parameters();
+  std::vector<Real> payload;
+  payload.reserve(params.size() + 1);
+  payload.push_back(static_cast<Real>(model_fingerprint(model.config())));
+  payload.insert(payload.end(), params.begin(), params.end());
+  const std::size_t shape[] = {payload.size()};
+  save_tensor(path, payload, shape);
+}
+
+void load_model(const std::filesystem::path& path, QuGeoModel& model) {
+  const LoadedTensor t = load_tensor(path);
+  if (t.data.empty())
+    throw std::runtime_error("load_model: empty checkpoint");
+  const auto stored = static_cast<std::uint64_t>(t.data[0]);
+  if (stored != model_fingerprint(model.config()))
+    throw std::runtime_error("load_model: architecture fingerprint mismatch");
+  if (t.data.size() != model.num_params() + 1)
+    throw std::runtime_error("load_model: parameter count mismatch");
+  model.set_parameters(std::span<const Real>(t.data).subspan(1));
+}
+
+}  // namespace qugeo::core

@@ -1,0 +1,23 @@
+// Trained-model persistence: save/load the flat parameter vector together
+// with a structural fingerprint of the model configuration, so a loaded
+// checkpoint can never be silently applied to a mismatched architecture.
+#pragma once
+
+#include <filesystem>
+
+#include "core/model.h"
+
+namespace qugeo::core {
+
+/// Structural fingerprint (qubits per group, batch, blocks, decoder, map
+/// shape) — two models with equal fingerprints accept each other's params.
+[[nodiscard]] std::uint64_t model_fingerprint(const ModelConfig& config);
+
+/// Write the model's parameters (+fingerprint) to `path`.
+void save_model(const std::filesystem::path& path, const QuGeoModel& model);
+
+/// Load parameters into `model`. Throws std::runtime_error if the stored
+/// fingerprint or parameter count does not match.
+void load_model(const std::filesystem::path& path, QuGeoModel& model);
+
+}  // namespace qugeo::core

@@ -1,0 +1,88 @@
+#include "core/shot_readout.h"
+
+#include <stdexcept>
+
+#include "core/encoder.h"
+#include "qsim/executor.h"
+
+namespace qugeo::core {
+
+std::vector<Real> estimate_z_from_shots(const qsim::StateVector& psi,
+                                        std::span<const Index> qubits,
+                                        Rng& rng, std::size_t shots) {
+  if (shots == 0) throw std::invalid_argument("estimate_z_from_shots: 0 shots");
+  const auto samples = psi.sample(rng, shots);
+  std::vector<Real> z(qubits.size(), Real(0));
+  for (Index outcome : samples)
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      z[i] += ((outcome >> qubits[i]) & 1) ? Real(-1) : Real(1);
+  for (Real& v : z) v /= static_cast<Real>(shots);
+  return z;
+}
+
+std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
+                                               std::span<const Index> qubits,
+                                               Rng& rng, std::size_t shots) {
+  if (shots == 0)
+    throw std::invalid_argument("estimate_marginal_from_shots: 0 shots");
+  const auto samples = psi.sample(rng, shots);
+  std::vector<Real> m(Index{1} << qubits.size(), Real(0));
+  for (Index outcome : samples) {
+    Index out = 0;
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      if ((outcome >> qubits[i]) & 1) out |= Index{1} << i;
+    m[out] += Real(1);
+  }
+  for (Real& v : m) v /= static_cast<Real>(shots);
+  return m;
+}
+
+std::vector<std::vector<Real>> predict_with_shots(
+    const QuGeoModel& model, std::span<const data::ScaledSample* const> samples,
+    Rng& rng, std::size_t shots) {
+  if (model.batch_size() != 1)
+    throw std::invalid_argument("predict_with_shots: unbatched models only");
+  if (model.config().decoder != DecoderKind::kLayer)
+    throw std::invalid_argument("predict_with_shots: layer decoder only");
+
+  const QubitLayout& layout = model.layout();
+  const StEncoder encoder(layout);
+  const auto params = model.parameters();
+  const std::size_t rows = model.config().vel_rows;
+  const std::size_t cols = model.config().vel_cols;
+  const auto& row_qubits = layout.data_qubits();
+  const std::size_t nq = model.num_quantum_params();
+
+  std::vector<std::vector<Real>> out;
+  out.reserve(samples.size());
+  for (const data::ScaledSample* s : samples) {
+    qsim::StateVector psi = encoder.encode_single(s->waveform);
+    qsim::run_circuit(model.ansatz(), std::span<const Real>(params).first(nq),
+                      psi);
+    const auto z = estimate_z_from_shots(
+        psi, std::span<const Index>(row_qubits.data(), rows), rng, shots);
+    std::vector<Real> map(rows * cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      // Same affine calibration the exact LayerDecoder applies.
+      const Real a = params[nq + i];
+      const Real b = params[nq + rows + i];
+      const Real v = a * (Real(1) + z[i]) / 2 + b;
+      for (std::size_t j = 0; j < cols; ++j) map[i * cols + j] = v;
+    }
+    out.push_back(std::move(map));
+  }
+  return out;
+}
+
+EvalMetrics evaluate_model_with_shots(const QuGeoModel& model,
+                                      const data::ScaledDataset& ds,
+                                      const std::vector<std::size_t>& indices,
+                                      Rng& rng, std::size_t shots) {
+  std::vector<const data::ScaledSample*> samples;
+  samples.reserve(indices.size());
+  for (std::size_t i : indices) samples.push_back(&ds.samples[i]);
+  return evaluate_predictions(predict_with_shots(model, samples, rng, shots),
+                              ds, indices);
+}
+
+}  // namespace qugeo::core

@@ -1,0 +1,38 @@
+// Shot-based (sampled) readout: on hardware the decoder expectations are
+// estimated from a finite number of measurement shots, not read exactly
+// from the state vector. This module emulates that: sample basis states
+// from the Born distribution, build empirical <Z>/marginal estimates, and
+// decode velocity maps from them — quantifying the shot budget the paper's
+// deployment scenario would need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+
+namespace qugeo::core {
+
+/// Empirical per-qubit <Z> from `shots` samples of psi.
+[[nodiscard]] std::vector<Real> estimate_z_from_shots(
+    const qsim::StateVector& psi, std::span<const Index> qubits, Rng& rng,
+    std::size_t shots);
+
+/// Empirical marginal distribution over `qubits` from `shots` samples.
+[[nodiscard]] std::vector<Real> estimate_marginal_from_shots(
+    const qsim::StateVector& psi, std::span<const Index> qubits, Rng& rng,
+    std::size_t shots);
+
+/// Predict velocity maps with a trained Q-M-LY style model using sampled
+/// readout instead of exact expectations (unbatched models only).
+[[nodiscard]] std::vector<std::vector<Real>> predict_with_shots(
+    const QuGeoModel& model, std::span<const data::ScaledSample* const> samples,
+    Rng& rng, std::size_t shots);
+
+/// Evaluate SSIM/MSE of a model under a given shot budget.
+[[nodiscard]] EvalMetrics evaluate_model_with_shots(
+    const QuGeoModel& model, const data::ScaledDataset& ds,
+    const std::vector<std::size_t>& indices, Rng& rng, std::size_t shots);
+
+}  // namespace qugeo::core

@@ -1,0 +1,117 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "metrics/image_metrics.h"
+#include "nn/schedule.h"
+
+namespace qugeo::core {
+namespace {
+
+/// Adam over a flat parameter vector (the VQC angle table + decoder scale).
+class AdamVec {
+ public:
+  explicit AdamVec(std::size_t n) : m_(n, 0), v_(n, 0) {}
+
+  void step(std::span<Real> params, std::span<const Real> grads, Real lr) {
+    ++t_;
+    const Real bc1 = Real(1) - std::pow(Real(0.9), static_cast<Real>(t_));
+    const Real bc2 = Real(1) - std::pow(Real(0.999), static_cast<Real>(t_));
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      m_[k] = Real(0.9) * m_[k] + Real(0.1) * grads[k];
+      v_[k] = Real(0.999) * v_[k] + Real(0.001) * grads[k] * grads[k];
+      params[k] -= lr * (m_[k] / bc1) / (std::sqrt(v_[k] / bc2) + Real(1e-8));
+    }
+  }
+
+ private:
+  std::size_t t_ = 0;
+  std::vector<Real> m_, v_;
+};
+
+}  // namespace
+
+EvalMetrics evaluate_predictions(const std::vector<std::vector<Real>>& preds,
+                                 const data::ScaledDataset& ds,
+                                 const std::vector<std::size_t>& indices) {
+  EvalMetrics m;
+  if (indices.empty()) return m;
+  metrics::SsimOptions ssim_opts;
+  ssim_opts.data_range = 1.0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::vector<Real>& target = ds.samples[indices[i]].velocity;
+    m.ssim += metrics::ssim(preds[i], target, ds.vel_rows, ds.vel_cols, ssim_opts);
+    m.mse += metrics::mse(preds[i], target);
+  }
+  m.ssim /= static_cast<Real>(indices.size());
+  m.mse /= static_cast<Real>(indices.size());
+  return m;
+}
+
+EvalMetrics evaluate_model(const QuGeoModel& model, const data::ScaledDataset& ds,
+                           const std::vector<std::size_t>& indices) {
+  std::vector<const data::ScaledSample*> samples;
+  samples.reserve(indices.size());
+  for (std::size_t i : indices) samples.push_back(&ds.samples[i]);
+  return evaluate_predictions(model.predict(samples), ds, indices);
+}
+
+TrainResult train_model(QuGeoModel& model, const data::ScaledDataset& ds,
+                        const data::SplitView& split, const TrainConfig& config) {
+  TrainResult result;
+  std::vector<Real> params = model.parameters();
+  AdamVec opt(params.size());
+  const nn::CosineAnnealingLr schedule(config.initial_lr, config.epochs);
+  Rng shuffle_rng(config.shuffle_seed);
+  const std::size_t bs = model.batch_size();
+
+  std::vector<Real> grads(params.size());
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = shuffle_rng.permutation(split.train.size());
+    Real epoch_loss = 0;
+    std::size_t seen = 0;
+    std::size_t accumulated = 0;
+    std::fill(grads.begin(), grads.end(), Real(0));
+    for (std::size_t pos = 0; pos < order.size(); pos += bs) {
+      std::vector<const data::ScaledSample*> chunk(bs);
+      for (std::size_t b = 0; b < bs; ++b) {
+        const std::size_t oi = std::min(pos + b, order.size() - 1);
+        chunk[b] = &ds.samples[split.train[order[oi]]];
+      }
+      epoch_loss += model.loss_and_gradient(chunk, grads);
+      seen += bs;
+      ++accumulated;
+      const bool last_chunk = pos + bs >= order.size();
+      if ((config.chunks_per_step != 0 && accumulated == config.chunks_per_step) ||
+          last_chunk) {
+        // Mean gradient over the accumulated samples.
+        const Real inv = Real(1) / static_cast<Real>(accumulated * bs);
+        for (Real& g : grads) g *= inv;
+        opt.step(params, grads, schedule.lr(epoch));
+        model.set_parameters(params);
+        std::fill(grads.begin(), grads.end(), Real(0));
+        accumulated = 0;
+      }
+    }
+
+    EpochRecord rec;
+    rec.train_loss = epoch_loss / static_cast<Real>(seen == 0 ? 1 : seen);
+    const EvalMetrics ev = evaluate_model(model, ds, split.test);
+    rec.test_ssim = ev.ssim;
+    rec.test_mse = ev.mse;
+    result.curve.push_back(rec);
+    if (config.log_every != 0 && (epoch + 1) % config.log_every == 0)
+      log_info("train_model: epoch ", epoch + 1, "/", config.epochs,
+               " loss=", rec.train_loss, " ssim=", rec.test_ssim,
+               " mse=", rec.test_mse);
+  }
+
+  if (!result.curve.empty()) {
+    result.final_ssim = result.curve.back().test_ssim;
+    result.final_mse = result.curve.back().test_mse;
+  }
+  return result;
+}
+
+}  // namespace qugeo::core

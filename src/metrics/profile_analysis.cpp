@@ -1,0 +1,59 @@
+#include "metrics/profile_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qugeo::metrics {
+
+std::vector<Interface> detect_interfaces(std::span<const Real> profile,
+                                         Real threshold) {
+  std::vector<Interface> out;
+  std::size_t last_jump_row = static_cast<std::size_t>(-2);
+  for (std::size_t i = 0; i + 1 < profile.size(); ++i) {
+    const Real jump = profile[i + 1] - profile[i];
+    if (std::abs(jump) < threshold) continue;
+    // Merge contiguous same-direction jump rows (a smeared interface ramp)
+    // into a single interface placed at the steepest step.
+    if (!out.empty() && last_jump_row + 1 == i &&
+        ((jump > 0) == (out.back().direction > 0))) {
+      if (std::abs(jump) > std::abs(out.back().jump)) {
+        out.back().row = i;
+        out.back().jump = jump;
+      }
+    } else {
+      out.push_back({i, jump > 0 ? 1 : -1, jump});
+    }
+    last_jump_row = i;
+  }
+  return out;
+}
+
+InterfaceScore score_interfaces(std::span<const Interface> truth,
+                                std::span<const Interface> predicted,
+                                std::size_t row_tolerance) {
+  InterfaceScore score;
+  score.total_true = truth.size();
+  std::vector<bool> used(predicted.size(), false);
+  for (const Interface& t : truth) {
+    std::size_t best = predicted.size();
+    std::size_t best_dist = row_tolerance + 1;
+    for (std::size_t j = 0; j < predicted.size(); ++j) {
+      if (used[j]) continue;
+      const std::size_t dist = t.row > predicted[j].row
+                                   ? t.row - predicted[j].row
+                                   : predicted[j].row - t.row;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (best < predicted.size()) {
+      used[best] = true;
+      ++score.matched;
+      if (predicted[best].direction == t.direction) ++score.ordering_correct;
+    }
+  }
+  return score;
+}
+
+}  // namespace qugeo::metrics

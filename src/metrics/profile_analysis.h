@@ -1,0 +1,40 @@
+// Vertical-velocity-profile analysis reproducing the paper's Figures 7b and
+// 9b: locate layer interfaces (inflection points) along a depth profile and
+// score a prediction's interface recovery and relative layer ordering.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qugeo::metrics {
+
+/// One detected interface: the row where velocity jumps, and the jump sign
+/// (+1 velocity increases with depth, -1 decreases).
+struct Interface {
+  std::size_t row = 0;
+  int direction = 0;
+  Real jump = 0;  ///< signed velocity change across the interface
+};
+
+/// Detect interfaces as rows where |v[i+1] - v[i]| exceeds `threshold`
+/// (in the same units as the profile).
+[[nodiscard]] std::vector<Interface> detect_interfaces(
+    std::span<const Real> profile, Real threshold);
+
+/// Result of matching predicted interfaces against ground truth.
+struct InterfaceScore {
+  std::size_t total_true = 0;       ///< interfaces in the ground truth
+  std::size_t matched = 0;          ///< predicted within +-tolerance rows
+  std::size_t ordering_correct = 0; ///< matched AND jump sign agrees
+};
+
+/// Greedy one-to-one matching of predicted to true interfaces within a row
+/// tolerance; reproduces the "correct interface prediction" counting of the
+/// paper's profile discussion.
+[[nodiscard]] InterfaceScore score_interfaces(
+    std::span<const Interface> truth, std::span<const Interface> predicted,
+    std::size_t row_tolerance);
+
+}  // namespace qugeo::metrics

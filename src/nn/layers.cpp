@@ -1,0 +1,258 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qugeo::nn {
+
+std::size_t Layer::param_count() {
+  std::size_t n = 0;
+  for (const Param* p : params()) n += p->numel();
+  return n;
+}
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}) {
+  if (stride == 0) throw std::invalid_argument("Conv2d: stride must be > 0");
+  weight_.value.init_kaiming(rng, in_channels * kernel * kernel);
+  bias_.value.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_ch_)
+    throw std::invalid_argument("Conv2d: expected [N, C_in, H, W]");
+  input_ = x;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor y({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t oc = 0; oc < out_ch_; ++oc)
+      for (std::size_t i = 0; i < oh; ++i)
+        for (std::size_t j = 0; j < ow; ++j) {
+          Real acc = bias_.value[oc];
+          for (std::size_t ic = 0; ic < in_ch_; ++ic)
+            for (std::size_t ki = 0; ki < kernel_; ++ki)
+              for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                const std::ptrdiff_t ih =
+                    static_cast<std::ptrdiff_t>(i * stride_ + ki) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(j * stride_ + kj) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ih < 0 || iw < 0 || ih >= static_cast<std::ptrdiff_t>(h) ||
+                    iw >= static_cast<std::ptrdiff_t>(w))
+                  continue;
+                acc += weight_.value.at4(oc, ic, ki, kj) *
+                       x.at4(b, ic, static_cast<std::size_t>(ih),
+                             static_cast<std::size_t>(iw));
+              }
+          y.at4(b, oc, i, j) = acc;
+        }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in(input_.shape());
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t oc = 0; oc < out_ch_; ++oc)
+      for (std::size_t i = 0; i < oh; ++i)
+        for (std::size_t j = 0; j < ow; ++j) {
+          const Real g = grad_out.at4(b, oc, i, j);
+          bias_.grad[oc] += g;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic)
+            for (std::size_t ki = 0; ki < kernel_; ++ki)
+              for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                const std::ptrdiff_t ih =
+                    static_cast<std::ptrdiff_t>(i * stride_ + ki) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(j * stride_ + kj) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ih < 0 || iw < 0 || ih >= static_cast<std::ptrdiff_t>(h) ||
+                    iw >= static_cast<std::ptrdiff_t>(w))
+                  continue;
+                const auto ihs = static_cast<std::size_t>(ih);
+                const auto iws = static_cast<std::size_t>(iw);
+                weight_.grad.at4(oc, ic, ki, kj) += g * input_.at4(b, ic, ihs, iws);
+                grad_in.at4(b, ic, ihs, iws) += g * weight_.value.at4(oc, ic, ki, kj);
+              }
+        }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_f_(in_features),
+      out_f_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}) {
+  weight_.value.init_kaiming(rng, in_features);
+  bias_.value.zero();
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_f_)
+    throw std::invalid_argument("Linear: expected [N, in_features]");
+  input_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_f_});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t o = 0; o < out_f_; ++o) {
+      Real acc = bias_.value[o];
+      for (std::size_t i = 0; i < in_f_; ++i)
+        acc += weight_.value.at2(o, i) * x.at2(b, i);
+      y.at2(b, o) = acc;
+    }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t n = input_.dim(0);
+  Tensor grad_in({n, in_f_});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t o = 0; o < out_f_; ++o) {
+      const Real g = grad_out.at2(b, o);
+      bias_.grad[o] += g;
+      for (std::size_t i = 0; i < in_f_; ++i) {
+        weight_.grad.at2(o, i) += g * input_.at2(b, i);
+        grad_in.at2(b, i) += g * weight_.value.at2(o, i);
+      }
+    }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------ ReLU --
+
+Tensor ReLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y = x;
+  for (auto& v : y.data_mut())
+    if (v < 0) v = 0;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  auto gi = grad_in.data_mut();
+  const auto xi = input_.data();
+  for (std::size_t k = 0; k < gi.size(); ++k)
+    if (xi[k] <= 0) gi[k] = 0;
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Sigmoid --
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.data_mut()) v = Real(1) / (Real(1) + std::exp(-v));
+  output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  auto gi = grad_in.data_mut();
+  const auto yo = output_.data();
+  for (std::size_t k = 0; k < gi.size(); ++k)
+    gi[k] *= yo[k] * (Real(1) - yo[k]);
+  return grad_in;
+}
+
+// ------------------------------------------------------------- MaxPool2d --
+
+MaxPool2d::MaxPool2d(std::size_t kernel) : kernel_(kernel) {
+  if (kernel == 0) throw std::invalid_argument("MaxPool2d: kernel must be > 0");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool2d: expected 4-D input");
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(y.numel(), 0);
+  std::size_t out_idx = 0;
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t i = 0; i < oh; ++i)
+        for (std::size_t j = 0; j < ow; ++j, ++out_idx) {
+          Real best = -std::numeric_limits<Real>::infinity();
+          std::size_t best_flat = 0;
+          for (std::size_t ki = 0; ki < kernel_; ++ki)
+            for (std::size_t kj = 0; kj < kernel_; ++kj) {
+              const std::size_t ih = i * kernel_ + ki, iw = j * kernel_ + kj;
+              const Real v = x.at4(b, ch, ih, iw);
+              if (v > best) {
+                best = v;
+                best_flat = ((b * c + ch) * h + ih) * w + iw;
+              }
+            }
+          y.at4(b, ch, i, j) = best;
+          argmax_[out_idx] = best_flat;
+        }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  const auto go = grad_out.data();
+  auto gi = grad_in.data_mut();
+  for (std::size_t k = 0; k < go.size(); ++k) gi[argmax_[k]] += go[k];
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Flatten --
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0);
+  return x.reshaped({n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+// ------------------------------------------------------------ Sequential --
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+}  // namespace qugeo::nn

@@ -1,0 +1,50 @@
+// First-order optimizers over Param lists. Adam matches the paper's training
+// setup (Adam, lr 0.1, cosine annealing).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qugeo::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the current gradients and learning rate.
+  virtual void step(Real lr) = 0;
+
+  /// Clear all accumulated gradients.
+  void zero_grad();
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// Plain stochastic gradient descent (with optional momentum).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(std::vector<Param*> params, Real momentum = 0);
+  void step(Real lr) override;
+
+ private:
+  Real momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(std::vector<Param*> params, Real beta1 = 0.9,
+                Real beta2 = 0.999, Real eps = 1e-8);
+  void step(Real lr) override;
+
+ private:
+  Real beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace qugeo::nn

@@ -1,0 +1,19 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+
+namespace qugeo::nn {
+
+CosineAnnealingLr::CosineAnnealingLr(Real initial_lr, std::size_t total_epochs,
+                                     Real min_lr)
+    : initial_lr_(initial_lr),
+      min_lr_(min_lr),
+      total_epochs_(total_epochs == 0 ? 1 : total_epochs) {}
+
+Real CosineAnnealingLr::lr(std::size_t epoch) const noexcept {
+  if (epoch >= total_epochs_) return min_lr_;
+  const Real t = static_cast<Real>(epoch) / static_cast<Real>(total_epochs_);
+  return min_lr_ + (initial_lr_ - min_lr_) * Real(0.5) * (Real(1) + std::cos(kPi * t));
+}
+
+}  // namespace qugeo::nn

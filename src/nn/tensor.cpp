@@ -1,0 +1,62 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qugeo::nn {
+namespace {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), Real(0)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<Real> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+Real Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Real& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Real Tensor::at2(std::size_t n, std::size_t f) const {
+  return data_[n * shape_[1] + f];
+}
+
+Real& Tensor::at2(std::size_t n, std::size_t f) {
+  return data_[n * shape_[1] + f];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_numel(new_shape) != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  return Tensor(std::move(new_shape), std::vector<Real>(data_.begin(), data_.end()));
+}
+
+void Tensor::fill(Real value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::init_kaiming(Rng& rng, std::size_t fan_in) {
+  const Real bound = std::sqrt(Real(6) / static_cast<Real>(fan_in == 0 ? 1 : fan_in));
+  rng.fill_uniform(data_, -bound, bound);
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+}  // namespace qugeo::nn

@@ -1,0 +1,180 @@
+#include "qsim/density_matrix.h"
+
+#include <stdexcept>
+
+namespace qugeo::qsim {
+namespace {
+
+constexpr Index kMaxDensityQubits = 13;  // 4^13 complexes = 1 GiB; cap below
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(Index num_qubits)
+    : num_qubits_(num_qubits), dim_(Index{1} << num_qubits) {
+  if (num_qubits > kMaxDensityQubits)
+    throw std::invalid_argument("DensityMatrix: too many qubits");
+  rho_.assign(dim_ * dim_, Complex{0, 0});
+  rho_[0] = Complex{1, 0};
+}
+
+DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const auto amps = psi.amplitudes();
+  for (Index r = 0; r < rho.dim_; ++r)
+    for (Index c = 0; c < rho.dim_; ++c)
+      rho.rho_[r * rho.dim_ + c] = amps[r] * std::conj(amps[c]);
+  return rho;
+}
+
+void DensityMatrix::apply_1q(const Mat2& u, Index q) {
+  const Index stride = Index{1} << q;
+  // Left multiply by U over row index pairs.
+  for (Index col = 0; col < dim_; ++col) {
+    for (Index base = 0; base < dim_; base += 2 * stride) {
+      for (Index off = 0; off < stride; ++off) {
+        const Index r0 = base + off, r1 = r0 + stride;
+        const Complex a = rho_[r0 * dim_ + col];
+        const Complex b = rho_[r1 * dim_ + col];
+        rho_[r0 * dim_ + col] = u(0, 0) * a + u(0, 1) * b;
+        rho_[r1 * dim_ + col] = u(1, 0) * a + u(1, 1) * b;
+      }
+    }
+  }
+  // Right multiply by U^+ over column index pairs.
+  const Mat2 ud = dagger(u);
+  for (Index row = 0; row < dim_; ++row) {
+    Complex* r = rho_.data() + row * dim_;
+    for (Index base = 0; base < dim_; base += 2 * stride) {
+      for (Index off = 0; off < stride; ++off) {
+        const Index c0 = base + off, c1 = c0 + stride;
+        const Complex a = r[c0];
+        const Complex b = r[c1];
+        // (rho U^+)_{.,c} = sum_k rho_{.,k} (U^+)_{k,c}
+        r[c0] = a * ud(0, 0) + b * ud(1, 0);
+        r[c1] = a * ud(0, 1) + b * ud(1, 1);
+      }
+    }
+  }
+}
+
+void DensityMatrix::apply_controlled_1q(const Mat2& u, Index control,
+                                        Index target) {
+  const Index cmask = Index{1} << control;
+  const Index stride = Index{1} << target;
+  // Left: rows with control bit set.
+  for (Index col = 0; col < dim_; ++col) {
+    for (Index base = 0; base < dim_; base += 2 * stride) {
+      for (Index off = 0; off < stride; ++off) {
+        const Index r0 = base + off;
+        if (!(r0 & cmask)) continue;
+        const Index r1 = r0 + stride;
+        const Complex a = rho_[r0 * dim_ + col];
+        const Complex b = rho_[r1 * dim_ + col];
+        rho_[r0 * dim_ + col] = u(0, 0) * a + u(0, 1) * b;
+        rho_[r1 * dim_ + col] = u(1, 0) * a + u(1, 1) * b;
+      }
+    }
+  }
+  const Mat2 ud = dagger(u);
+  for (Index row = 0; row < dim_; ++row) {
+    Complex* r = rho_.data() + row * dim_;
+    for (Index base = 0; base < dim_; base += 2 * stride) {
+      for (Index off = 0; off < stride; ++off) {
+        const Index c0 = base + off;
+        if (!(c0 & cmask)) continue;
+        const Index c1 = c0 + stride;
+        const Complex a = r[c0];
+        const Complex b = r[c1];
+        r[c0] = a * ud(0, 0) + b * ud(1, 0);
+        r[c1] = a * ud(0, 1) + b * ud(1, 1);
+      }
+    }
+  }
+}
+
+void DensityMatrix::apply_swap(Index a, Index b) {
+  if (a == b) return;
+  const Index ma = Index{1} << a, mb = Index{1} << b;
+  auto swapped = [&](Index k) {
+    const bool ba = (k & ma) != 0, bb = (k & mb) != 0;
+    if (ba == bb) return k;
+    return (k ^ ma) ^ mb;
+  };
+  std::vector<Complex> next(rho_.size());
+  for (Index r = 0; r < dim_; ++r)
+    for (Index c = 0; c < dim_; ++c)
+      next[swapped(r) * dim_ + swapped(c)] = rho_[r * dim_ + c];
+  rho_ = std::move(next);
+}
+
+void DensityMatrix::depolarize(Index q, Real p) {
+  if (p <= 0) return;
+  // rho -> (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z)
+  static const Mat2 kX{{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}}};
+  static const Mat2 kY{{Complex{0, 0}, Complex{0, -1}, Complex{0, 1}, Complex{0, 0}}};
+  static const Mat2 kZ{{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-1, 0}}};
+  DensityMatrix x = *this, y = *this, z = *this;
+  x.apply_1q(kX, q);
+  y.apply_1q(kY, q);
+  z.apply_1q(kZ, q);
+  const Real keep = 1 - p;
+  const Real mix = p / 3;
+  for (Index k = 0; k < rho_.size(); ++k)
+    rho_[k] = keep * rho_[k] + mix * (x.rho_[k] + y.rho_[k] + z.rho_[k]);
+}
+
+Real DensityMatrix::trace() const {
+  Real t = 0;
+  for (Index k = 0; k < dim_; ++k) t += rho_[k * dim_ + k].real();
+  return t;
+}
+
+Real DensityMatrix::purity() const {
+  // Tr(rho^2) = sum_{r,c} rho_{r,c} rho_{c,r} = sum |rho_{r,c}|^2 (Hermitian).
+  Real p = 0;
+  for (const Complex& v : rho_) p += std::norm(v);
+  return p;
+}
+
+std::vector<Real> DensityMatrix::probabilities() const {
+  std::vector<Real> p(dim_);
+  for (Index k = 0; k < dim_; ++k) p[k] = rho_[k * dim_ + k].real();
+  return p;
+}
+
+Real DensityMatrix::expect_z(Index q) const {
+  const Index mask = Index{1} << q;
+  Real e = 0;
+  for (Index k = 0; k < dim_; ++k)
+    e += ((k & mask) ? Real(-1) : Real(1)) * rho_[k * dim_ + k].real();
+  return e;
+}
+
+void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
+                         DensityMatrix& rho, Real depolarizing_prob) {
+  if (rho.num_qubits() != circuit.num_qubits())
+    throw std::invalid_argument("run_circuit_density: qubit count mismatch");
+  for (const Op& op : circuit.ops()) {
+    const auto vals = Circuit::resolve_params(op, params);
+    switch (op.kind) {
+      case GateKind::kSWAP:
+        rho.apply_swap(op.qubits[0], op.qubits[1]);
+        break;
+      case GateKind::kCX:
+      case GateKind::kCZ:
+      case GateKind::kCRY:
+      case GateKind::kCU3:
+        rho.apply_controlled_1q(gate_matrix(op.kind, vals), op.qubits[0],
+                                op.qubits[1]);
+        break;
+      default:
+        rho.apply_1q(gate_matrix(op.kind, vals), op.qubits[0]);
+        break;
+    }
+    rho.depolarize(op.qubits[0], depolarizing_prob);
+    if (gate_qubit_count(op.kind) == 2)
+      rho.depolarize(op.qubits[1], depolarizing_prob);
+  }
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,69 @@
+// Dense density-matrix simulator for exact mixed-state evolution.
+//
+// Complements the trajectory sampler in noise.h: where trajectories give an
+// unbiased stochastic estimate of the depolarizing channel, this class
+// applies the channel exactly — rho -> (1-p) U rho U^+ + (p/3) sum_P P rho P
+// — at O(4^n) memory, comfortably covering the paper's 8-16 qubit regime
+// at the low end. Used by tests to pin down the trajectory sampler and by
+// the noise ablation for exact small-system numbers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+
+namespace qugeo::qsim {
+
+class DensityMatrix {
+ public:
+  /// rho = |0...0><0...0| on `num_qubits` qubits.
+  explicit DensityMatrix(Index num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_state(const StateVector& psi);
+
+  [[nodiscard]] Index num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] Index dim() const noexcept { return dim_; }
+  [[nodiscard]] Complex element(Index r, Index c) const {
+    return rho_[r * dim_ + c];
+  }
+
+  /// Apply a 1-qubit unitary: rho -> U rho U^+.
+  void apply_1q(const Mat2& u, Index q);
+
+  /// Controlled 1-qubit unitary (control = qubits[0] convention).
+  void apply_controlled_1q(const Mat2& u, Index control, Index target);
+
+  /// SWAP conjugation.
+  void apply_swap(Index a, Index b);
+
+  /// Exact single-qubit depolarizing channel with probability p.
+  void depolarize(Index q, Real p);
+
+  /// Trace (should stay 1 under channels).
+  [[nodiscard]] Real trace() const;
+
+  /// Purity Tr(rho^2) — 1 for pure states, 1/2^n for maximally mixed.
+  [[nodiscard]] Real purity() const;
+
+  /// Diagonal Born probabilities.
+  [[nodiscard]] std::vector<Real> probabilities() const;
+
+  /// <Z_q>.
+  [[nodiscard]] Real expect_z(Index q) const;
+
+ private:
+  Index num_qubits_;
+  Index dim_;
+  std::vector<Complex> rho_;  // row-major dim x dim
+};
+
+/// Run a circuit on the density matrix, applying the exact depolarizing
+/// channel with probability `depolarizing_prob` to every touched qubit
+/// after each gate (mirrors run_circuit_noisy's insertion points).
+void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
+                         DensityMatrix& rho, Real depolarizing_prob = 0);
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,115 @@
+#include "qsim/executor.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qugeo::qsim {
+namespace {
+
+/// Inner product <a|b> over raw spans.
+Complex inner(std::span<const Complex> a, std::span<const Complex> b) {
+  assert(a.size() == b.size());
+  Complex s{0, 0};
+  for (std::size_t k = 0; k < a.size(); ++k) s += std::conj(a[k]) * b[k];
+  return s;
+}
+
+}  // namespace
+
+void apply_op(const Op& op, std::span<const Real> params, StateVector& psi) {
+  const auto vals = Circuit::resolve_params(op, params);
+  switch (op.kind) {
+    case GateKind::kSWAP:
+      psi.apply_swap(op.qubits[0], op.qubits[1]);
+      return;
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+      psi.apply_controlled_1q(gate_matrix(op.kind, vals), op.qubits[0],
+                              op.qubits[1]);
+      return;
+    default:
+      psi.apply_1q(gate_matrix(op.kind, vals), op.qubits[0]);
+      return;
+  }
+}
+
+void apply_op_inverse(const Op& op, std::span<const Real> params,
+                      StateVector& psi) {
+  const auto vals = Circuit::resolve_params(op, params);
+  switch (op.kind) {
+    case GateKind::kSWAP:
+      psi.apply_swap(op.qubits[0], op.qubits[1]);
+      return;
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+      psi.apply_controlled_1q(dagger(gate_matrix(op.kind, vals)), op.qubits[0],
+                              op.qubits[1]);
+      return;
+    default:
+      psi.apply_1q(dagger(gate_matrix(op.kind, vals)), op.qubits[0]);
+      return;
+  }
+}
+
+void run_circuit(const Circuit& circuit, std::span<const Real> params,
+                 StateVector& psi) {
+  if (psi.num_qubits() != circuit.num_qubits())
+    throw std::invalid_argument("run_circuit: qubit count mismatch");
+  if (params.size() < circuit.num_params())
+    throw std::invalid_argument("run_circuit: parameter table too small");
+  for (const Op& op : circuit.ops()) apply_op(op, params, psi);
+}
+
+AdjointResult adjoint_backward(const Circuit& circuit,
+                               std::span<const Real> params,
+                               StateVector psi_out,
+                               std::span<const Complex> cotangent) {
+  if (cotangent.size() != psi_out.dim())
+    throw std::invalid_argument("adjoint_backward: cotangent size mismatch");
+
+  AdjointResult result;
+  result.param_grads.assign(circuit.num_params(), Real(0));
+
+  // lambda lives in a StateVector so gate kernels can be reused; it is not
+  // normalized (it is a gradient, not a state).
+  StateVector lambda(circuit.num_qubits());
+  lambda.set_amplitudes(cotangent);
+
+  StateVector scratch(circuit.num_qubits());
+
+  const auto ops = circuit.ops();
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    const Op& op = ops[i];
+    // psi_out currently equals psi after op i; rewind to psi before op i.
+    apply_op_inverse(op, params, psi_out);
+
+    // Accumulate parameter gradients: dL/dtheta = 2 Re <lambda_i| dU |psi_{i-1}>.
+    for (int slot = 0; slot < 3; ++slot) {
+      const std::uint32_t pid = op.param_ids[static_cast<std::size_t>(slot)];
+      if (pid == kLiteralParam) continue;
+      const auto vals = Circuit::resolve_params(op, params);
+      const Mat2 du = gate_matrix_deriv(op.kind, vals, slot);
+      scratch.set_amplitudes(psi_out.amplitudes());
+      if (gate_is_controlled_1q(op.kind)) {
+        scratch.apply_controlled_1q_deriv(du, op.qubits[0], op.qubits[1]);
+      } else {
+        scratch.apply_1q(du, op.qubits[0]);
+      }
+      const Complex ip = inner(lambda.amplitudes(), scratch.amplitudes());
+      result.param_grads[pid] += 2 * ip.real();
+    }
+
+    // Propagate the cotangent: lambda_{i-1} = U_i^dagger lambda_i.
+    apply_op_inverse(op, params, lambda);
+  }
+
+  result.input_cotangent.assign(lambda.amplitudes().begin(),
+                                lambda.amplitudes().end());
+  return result;
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,195 @@
+#include "qsim/gate.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qugeo::qsim {
+namespace {
+
+constexpr Complex kI1{0, 1};
+
+Mat2 make(Complex a, Complex b, Complex c, Complex d) {
+  Mat2 u;
+  u.m = {a, b, c, d};
+  return u;
+}
+
+}  // namespace
+
+int gate_param_count(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kCRY:
+      return 1;
+    case GateKind::kU3:
+    case GateKind::kCU3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+int gate_qubit_count(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+    case GateKind::kSWAP:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool gate_is_controlled_1q(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view gate_name(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kI: return "id";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kU3: return "u3";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kCRY: return "cry";
+    case GateKind::kCU3: return "cu3";
+    case GateKind::kSWAP: return "swap";
+  }
+  return "?";
+}
+
+Mat2 u3_matrix(Real theta, Real phi, Real lambda) noexcept {
+  const Real c = std::cos(theta / 2);
+  const Real s = std::sin(theta / 2);
+  return make(Complex{c, 0}, -std::exp(kI1 * lambda) * s,
+              std::exp(kI1 * phi) * s, std::exp(kI1 * (phi + lambda)) * c);
+}
+
+Mat2 gate_matrix(GateKind kind, std::span<const Real> params) {
+  assert(static_cast<int>(params.size()) >= gate_param_count(kind));
+  static const Real kInvSqrt2 = Real(1) / std::sqrt(Real(2));
+  switch (kind) {
+    case GateKind::kI:
+      return make({1, 0}, {0, 0}, {0, 0}, {1, 0});
+    case GateKind::kX:
+    case GateKind::kCX:
+      return make({0, 0}, {1, 0}, {1, 0}, {0, 0});
+    case GateKind::kY:
+      return make({0, 0}, {0, -1}, {0, 1}, {0, 0});
+    case GateKind::kZ:
+    case GateKind::kCZ:
+      return make({1, 0}, {0, 0}, {0, 0}, {-1, 0});
+    case GateKind::kH:
+      return make({kInvSqrt2, 0}, {kInvSqrt2, 0}, {kInvSqrt2, 0}, {-kInvSqrt2, 0});
+    case GateKind::kS:
+      return make({1, 0}, {0, 0}, {0, 0}, {0, 1});
+    case GateKind::kSdg:
+      return make({1, 0}, {0, 0}, {0, 0}, {0, -1});
+    case GateKind::kT:
+      return make({1, 0}, {0, 0}, {0, 0}, std::exp(kI1 * (kPi / 4)));
+    case GateKind::kTdg:
+      return make({1, 0}, {0, 0}, {0, 0}, std::exp(-kI1 * (kPi / 4)));
+    case GateKind::kRX: {
+      const Real c = std::cos(params[0] / 2), s = std::sin(params[0] / 2);
+      return make({c, 0}, {0, -s}, {0, -s}, {c, 0});
+    }
+    case GateKind::kRY:
+    case GateKind::kCRY: {
+      const Real c = std::cos(params[0] / 2), s = std::sin(params[0] / 2);
+      return make({c, 0}, {-s, 0}, {s, 0}, {c, 0});
+    }
+    case GateKind::kRZ: {
+      return make(std::exp(-kI1 * (params[0] / 2)), {0, 0}, {0, 0},
+                  std::exp(kI1 * (params[0] / 2)));
+    }
+    case GateKind::kPhase:
+      return make({1, 0}, {0, 0}, {0, 0}, std::exp(kI1 * params[0]));
+    case GateKind::kU3:
+    case GateKind::kCU3:
+      return u3_matrix(params[0], params[1], params[2]);
+    case GateKind::kSWAP:
+      throw std::invalid_argument("gate_matrix: SWAP has no 2x2 block form");
+  }
+  throw std::invalid_argument("gate_matrix: unknown kind");
+}
+
+Mat2 gate_matrix_deriv(GateKind kind, std::span<const Real> params,
+                       int param_index) {
+  assert(param_index >= 0 && param_index < gate_param_count(kind));
+  switch (kind) {
+    case GateKind::kRX: {
+      const Real c = std::cos(params[0] / 2) / 2, s = std::sin(params[0] / 2) / 2;
+      return make({-s, 0}, {0, -c}, {0, -c}, {-s, 0});
+    }
+    case GateKind::kRY:
+    case GateKind::kCRY: {
+      const Real c = std::cos(params[0] / 2) / 2, s = std::sin(params[0] / 2) / 2;
+      return make({-s, 0}, {-c, 0}, {c, 0}, {-s, 0});
+    }
+    case GateKind::kRZ: {
+      return make(Complex{0, -0.5} * std::exp(-kI1 * (params[0] / 2)), {0, 0},
+                  {0, 0}, Complex{0, 0.5} * std::exp(kI1 * (params[0] / 2)));
+    }
+    case GateKind::kPhase:
+      return make({0, 0}, {0, 0}, {0, 0}, kI1 * std::exp(kI1 * params[0]));
+    case GateKind::kU3:
+    case GateKind::kCU3: {
+      const Real th = params[0], ph = params[1], la = params[2];
+      const Real c = std::cos(th / 2), s = std::sin(th / 2);
+      switch (param_index) {
+        case 0:  // d/d(theta)
+          return make(Complex{-s / 2, 0}, -std::exp(kI1 * la) * (c / 2),
+                      std::exp(kI1 * ph) * (c / 2),
+                      -std::exp(kI1 * (ph + la)) * (s / 2));
+        case 1:  // d/d(phi)
+          return make({0, 0}, {0, 0}, kI1 * std::exp(kI1 * ph) * s,
+                      kI1 * std::exp(kI1 * (ph + la)) * c);
+        case 2:  // d/d(lambda)
+          return make({0, 0}, -kI1 * std::exp(kI1 * la) * s, {0, 0},
+                      kI1 * std::exp(kI1 * (ph + la)) * c);
+        default:
+          break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  throw std::invalid_argument("gate_matrix_deriv: non-differentiable kind/index");
+}
+
+Mat2 dagger(const Mat2& u) noexcept {
+  Mat2 d;
+  d(0, 0) = std::conj(u(0, 0));
+  d(0, 1) = std::conj(u(1, 0));
+  d(1, 0) = std::conj(u(0, 1));
+  d(1, 1) = std::conj(u(1, 1));
+  return d;
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,50 @@
+#include "qsim/noise.h"
+
+#include "qsim/executor.h"
+
+namespace qugeo::qsim {
+namespace {
+
+void maybe_depolarize(StateVector& psi, Index q, Real p, Rng& rng) {
+  if (p <= 0 || !rng.bernoulli(p)) return;
+  static const Mat2 kX{{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}}};
+  static const Mat2 kY{{Complex{0, 0}, Complex{0, -1}, Complex{0, 1}, Complex{0, 0}}};
+  static const Mat2 kZ{{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-1, 0}}};
+  switch (rng.uniform_int(0, 2)) {
+    case 0: psi.apply_1q(kX, q); break;
+    case 1: psi.apply_1q(kY, q); break;
+    default: psi.apply_1q(kZ, q); break;
+  }
+}
+
+}  // namespace
+
+void run_circuit_noisy(const Circuit& circuit, std::span<const Real> params,
+                       StateVector& psi, const NoiseModel& noise, Rng& rng) {
+  for (const Op& op : circuit.ops()) {
+    apply_op(op, params, psi);
+    const int nq = gate_qubit_count(op.kind);
+    maybe_depolarize(psi, op.qubits[0], noise.depolarizing_prob, rng);
+    if (nq == 2)
+      maybe_depolarize(psi, op.qubits[1], noise.depolarizing_prob, rng);
+  }
+}
+
+std::vector<Real> noisy_expect_z(const Circuit& circuit,
+                                 std::span<const Real> params,
+                                 const StateVector& psi_in,
+                                 std::span<const Index> qubits,
+                                 const NoiseModel& noise, Rng& rng,
+                                 std::size_t trajectories) {
+  std::vector<Real> acc(qubits.size(), Real(0));
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    StateVector psi = psi_in;
+    run_circuit_noisy(circuit, params, psi, noise, rng);
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      acc[i] += psi.expect_z(qubits[i]);
+  }
+  for (Real& a : acc) a /= static_cast<Real>(trajectories);
+  return acc;
+}
+
+}  // namespace qugeo::qsim

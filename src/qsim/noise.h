@@ -1,0 +1,34 @@
+// Depolarizing-noise execution via Pauli-twirl trajectory sampling.
+//
+// The paper targets NISQ hardware but evaluates on a noiseless simulator;
+// this module is the "optional extension" used by the noise-robustness
+// ablation bench: each trajectory stochastically inserts X/Y/Z errors after
+// every gate with per-qubit probability p, and observables are averaged
+// over trajectories (an unbiased estimator of the depolarizing channel).
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+
+namespace qugeo::qsim {
+
+struct NoiseModel {
+  /// Per-qubit depolarizing probability applied after every gate touch.
+  Real depolarizing_prob = 0.0;
+};
+
+/// Run one noisy trajectory of the circuit on `psi` (in place).
+void run_circuit_noisy(const Circuit& circuit, std::span<const Real> params,
+                       StateVector& psi, const NoiseModel& noise, Rng& rng);
+
+/// Average <Z_q> for each listed qubit over `trajectories` noisy runs that
+/// all start from `psi_in`.
+[[nodiscard]] std::vector<Real> noisy_expect_z(
+    const Circuit& circuit, std::span<const Real> params,
+    const StateVector& psi_in, std::span<const Index> qubits,
+    const NoiseModel& noise, Rng& rng, std::size_t trajectories);
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,34 @@
+// Peephole circuit optimization: cancel adjacent self-inverse pairs, fuse
+// literal rotations, and drop identity rotations. Keeps trainable gates
+// untouched (their angles are not known at optimization time), so the pass
+// is safe to run on the synthesized encoder + ansatz pipeline before QASM
+// export or depth accounting.
+#pragma once
+
+#include "qsim/circuit.h"
+
+namespace qugeo::qsim {
+
+struct OptimizeOptions {
+  bool cancel_self_inverse = true;  ///< X X, H H, Z Z, CX CX, CZ CZ, SWAP SWAP
+  bool fuse_rotations = true;       ///< RX(a) RX(b) -> RX(a+b) (literals only)
+  bool drop_identity_rotations = true;  ///< RX(0), RZ(2*k*2pi), P(0), ...
+  Real angle_epsilon = 1e-12;           ///< |angle mod 4pi| below this is identity
+};
+
+struct OptimizeStats {
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t fused_rotations = 0;
+  std::size_t dropped_identities = 0;
+};
+
+/// Run the peephole passes to a fixed point and return the optimized
+/// circuit. The result references the same trainable parameter table (ids
+/// are preserved verbatim; num_params is unchanged).
+[[nodiscard]] Circuit optimize_circuit(const Circuit& circuit,
+                                       const OptimizeOptions& options = {},
+                                       OptimizeStats* stats = nullptr);
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,32 @@
+#include "qsim/qasm.h"
+
+#include <sstream>
+
+namespace qugeo::qsim {
+
+std::string to_qasm(const Circuit& circuit, std::span<const Real> params) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "OPENQASM 2.0;\n"
+     << "include \"qelib1.inc\";\n"
+     << "qreg q[" << circuit.num_qubits() << "];\n";
+  for (const Op& op : circuit.ops()) {
+    const auto vals = Circuit::resolve_params(op, params);
+    const auto name = gate_name(op.kind);
+    const int nparams = gate_param_count(op.kind);
+    const int nqubits = gate_qubit_count(op.kind);
+    os << name;
+    if (nparams > 0) {
+      os << '(';
+      for (int i = 0; i < nparams; ++i)
+        os << vals[static_cast<std::size_t>(i)] << (i + 1 < nparams ? "," : "");
+      os << ')';
+    }
+    os << " q[" << op.qubits[0] << ']';
+    if (nqubits == 2) os << ",q[" << op.qubits[1] << ']';
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,17 @@
+// OpenQASM 2.0 export, so synthesized encoders and the QuGeoVQC ansatz can
+// be inspected or handed to external toolchains.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "qsim/circuit.h"
+
+namespace qugeo::qsim {
+
+/// Serialize the circuit as OpenQASM 2.0. Trainable angles are resolved
+/// against `params` (pass the trained table; must cover num_params()).
+[[nodiscard]] std::string to_qasm(const Circuit& circuit,
+                                  std::span<const Real> params);
+
+}  // namespace qugeo::qsim

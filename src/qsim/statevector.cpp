@@ -1,0 +1,149 @@
+#include "qsim/statevector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace qugeo::qsim {
+
+StateVector::StateVector(Index num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits > 28)
+    throw std::invalid_argument("StateVector: too many qubits for dense sim");
+  amps_.assign(Index{1} << num_qubits, Complex{0, 0});
+  amps_[0] = Complex{1, 0};
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), Complex{0, 0});
+  amps_[0] = Complex{1, 0};
+}
+
+void StateVector::set_amplitudes(std::span<const Complex> amps) {
+  if (amps.size() != amps_.size())
+    throw std::invalid_argument("set_amplitudes: dimension mismatch");
+  std::copy(amps.begin(), amps.end(), amps_.begin());
+}
+
+void StateVector::set_amplitudes_real(std::span<const Real> amps) {
+  if (amps.size() != amps_.size())
+    throw std::invalid_argument("set_amplitudes_real: dimension mismatch");
+  for (Index k = 0; k < amps_.size(); ++k) amps_[k] = Complex{amps[k], 0};
+}
+
+Real StateVector::norm_sq() const noexcept {
+  Real s = 0;
+  for (const Complex& a : amps_) s += std::norm(a);
+  return s;
+}
+
+void StateVector::apply_1q(const Mat2& u, Index q) {
+  assert(q < num_qubits_);
+  const Index stride = Index{1} << q;
+  const Index n = amps_.size();
+  for (Index base = 0; base < n; base += stride * 2) {
+    for (Index off = 0; off < stride; ++off) {
+      const Index i0 = base + off;
+      const Index i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
+      amps_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled_1q(const Mat2& u, Index control, Index target) {
+  assert(control < num_qubits_ && target < num_qubits_ && control != target);
+  const Index cmask = Index{1} << control;
+  const Index stride = Index{1} << target;
+  const Index n = amps_.size();
+  for (Index base = 0; base < n; base += stride * 2) {
+    for (Index off = 0; off < stride; ++off) {
+      const Index i0 = base + off;
+      if (!(i0 & cmask)) continue;
+      const Index i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
+      amps_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled_1q_deriv(const Mat2& du, Index control,
+                                            Index target) {
+  apply_controlled_1q(du, control, target);
+  const Index cmask = Index{1} << control;
+  for (Index k = 0; k < amps_.size(); ++k)
+    if (!(k & cmask)) amps_[k] = Complex{0, 0};
+}
+
+void StateVector::apply_swap(Index a, Index b) {
+  assert(a < num_qubits_ && b < num_qubits_);
+  if (a == b) return;
+  const Index ma = Index{1} << a;
+  const Index mb = Index{1} << b;
+  for (Index k = 0; k < amps_.size(); ++k) {
+    const bool ba = (k & ma) != 0;
+    const bool bb = (k & mb) != 0;
+    if (ba && !bb) {
+      const Index j = (k & ~ma) | mb;
+      std::swap(amps_[k], amps_[j]);
+    }
+  }
+}
+
+std::vector<Real> StateVector::probabilities() const {
+  std::vector<Real> p(amps_.size());
+  for (Index k = 0; k < amps_.size(); ++k) p[k] = std::norm(amps_[k]);
+  return p;
+}
+
+std::vector<Real> StateVector::marginal_probabilities(
+    std::span<const Index> qubits) const {
+  std::vector<Real> p(Index{1} << qubits.size(), Real(0));
+  for (Index k = 0; k < amps_.size(); ++k) {
+    Index out = 0;
+    for (Index i = 0; i < qubits.size(); ++i)
+      if (k & (Index{1} << qubits[i])) out |= Index{1} << i;
+    p[out] += std::norm(amps_[k]);
+  }
+  return p;
+}
+
+Real StateVector::expect_z(Index q) const {
+  assert(q < num_qubits_);
+  const Index mask = Index{1} << q;
+  Real e = 0;
+  for (Index k = 0; k < amps_.size(); ++k)
+    e += ((k & mask) ? Real(-1) : Real(1)) * std::norm(amps_[k]);
+  return e;
+}
+
+std::vector<Index> StateVector::sample(Rng& rng, std::size_t shots) const {
+  // Inverse-CDF sampling over the cumulative Born distribution.
+  std::vector<Real> cdf(amps_.size());
+  Real acc = 0;
+  for (Index k = 0; k < amps_.size(); ++k) {
+    acc += std::norm(amps_[k]);
+    cdf[k] = acc;
+  }
+  std::vector<Index> out(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const Real r = rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    out[s] = static_cast<Index>(std::distance(cdf.begin(), it));
+  }
+  return out;
+}
+
+Real StateVector::fidelity(const StateVector& other) const {
+  if (other.dim() != dim())
+    throw std::invalid_argument("fidelity: dimension mismatch");
+  Complex ip{0, 0};
+  for (Index k = 0; k < amps_.size(); ++k)
+    ip += std::conj(amps_[k]) * other.amps_[k];
+  return std::norm(ip);
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,212 @@
+#include "seismic/fdtd.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace qugeo::seismic {
+namespace {
+
+/// Central-difference second-derivative coefficients (c[0] at the center).
+struct Stencil {
+  std::size_t halo;
+  std::array<Real, 5> c;
+};
+
+Stencil stencil_for_order(int order) {
+  switch (order) {
+    case 2:
+      return {1, {Real(-2), Real(1), 0, 0, 0}};
+    case 4:
+      return {2, {Real(-5.0 / 2), Real(4.0 / 3), Real(-1.0 / 12), 0, 0}};
+    case 8:
+      return {4,
+              {Real(-205.0 / 72), Real(8.0 / 5), Real(-1.0 / 5),
+               Real(8.0 / 315), Real(-1.0 / 560)}};
+    default:
+      throw std::invalid_argument("fdtd: space_order must be 2, 4, or 8");
+  }
+}
+
+/// The computational grid = user model padded by the absorbing strip on
+/// every absorbing side (sources and receivers stay in the interior, so
+/// surface acquisition is not attenuated), plus the stencil halo of zeros.
+struct Domain {
+  std::size_t nz_c, nx_c;      // computational size (model + sponge pads)
+  std::size_t top_pad, side_pad;
+  std::size_t halo;
+  std::size_t stride;          // allocated row stride (nx_c + 2*halo)
+
+  [[nodiscard]] std::size_t cell(std::size_t iz_c, std::size_t ix_c) const {
+    return (iz_c + halo) * stride + ix_c + halo;
+  }
+};
+
+/// Cerjan damping factor for a pad cell at distance d (1..W) outside the
+/// interior; interior cells get 1.
+Real cerjan(std::size_t d, Real strength) {
+  const Real a = strength * static_cast<Real>(d);
+  return std::exp(-a * a);
+}
+
+template <typename PerStepFn>
+void propagate(const VelocityModel& model, const GridPos& source,
+               const RickerWavelet& wavelet, const FdtdConfig& cfg,
+               PerStepFn&& per_step) {
+  const std::size_t nz = model.nz(), nx = model.nx();
+  if (source.iz >= nz || source.ix >= nx)
+    throw std::invalid_argument("fdtd: source outside grid");
+  const Stencil st = stencil_for_order(cfg.space_order);
+  if (cfg.dt <= 0 || cfg.dt > max_stable_dt(model, cfg.space_order))
+    throw std::invalid_argument("fdtd: dt violates the CFL stability bound");
+
+  Domain dom;
+  dom.side_pad = cfg.sponge_width;
+  dom.top_pad = cfg.free_surface_top ? 0 : cfg.sponge_width;
+  dom.nz_c = nz + dom.top_pad + cfg.sponge_width;
+  dom.nx_c = nx + 2 * dom.side_pad;
+  dom.halo = st.halo;
+  dom.stride = dom.nx_c + 2 * st.halo;
+
+  const std::size_t cells = (dom.nz_c + 2 * st.halo) * dom.stride;
+  std::vector<Real> p(cells, 0), p_prev(cells, 0), p_next(cells, 0);
+
+  // Edge-replicated padded velocity and per-cell damping profile.
+  std::vector<Real> c2(dom.nz_c * dom.nx_c);
+  std::vector<Real> damp_z(dom.nz_c, Real(1)), damp_x(dom.nx_c, Real(1));
+  for (std::size_t iz_c = 0; iz_c < dom.nz_c; ++iz_c) {
+    const std::size_t iz =
+        iz_c < dom.top_pad
+            ? 0
+            : (iz_c - dom.top_pad >= nz ? nz - 1 : iz_c - dom.top_pad);
+    for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+      const std::size_t ix =
+          ix_c < dom.side_pad
+              ? 0
+              : (ix_c - dom.side_pad >= nx ? nx - 1 : ix_c - dom.side_pad);
+      const Real c = model.at(iz, ix);
+      c2[iz_c * dom.nx_c + ix_c] = c * c;
+    }
+    if (iz_c < dom.top_pad)
+      damp_z[iz_c] = cerjan(dom.top_pad - iz_c, cfg.sponge_strength);
+    else if (iz_c >= dom.top_pad + nz)
+      damp_z[iz_c] = cerjan(iz_c - (dom.top_pad + nz) + 1, cfg.sponge_strength);
+  }
+  for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+    if (ix_c < dom.side_pad)
+      damp_x[ix_c] = cerjan(dom.side_pad - ix_c, cfg.sponge_strength);
+    else if (ix_c >= dom.side_pad + nx)
+      damp_x[ix_c] = cerjan(ix_c - (dom.side_pad + nx) + 1, cfg.sponge_strength);
+  }
+
+  const Real inv_dz2 = Real(1) / (model.grid().dz * model.grid().dz);
+  const Real inv_dx2 = Real(1) / (model.grid().dx * model.grid().dx);
+  const Real dt2 = cfg.dt * cfg.dt;
+  const std::size_t src_cell =
+      dom.cell(source.iz + dom.top_pad, source.ix + dom.side_pad);
+  const Real src_c2 = model.at(source.iz, source.ix) * model.at(source.iz, source.ix);
+
+  for (std::size_t step = 0; step < cfg.nt; ++step) {
+    for (std::size_t iz_c = 0; iz_c < dom.nz_c; ++iz_c) {
+      const Real* pr = p.data() + dom.cell(iz_c, 0);
+      const Real* pp = p_prev.data() + dom.cell(iz_c, 0);
+      Real* pn = p_next.data() + dom.cell(iz_c, 0);
+      const Real* cc = c2.data() + iz_c * dom.nx_c;
+      for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+        const Real* pc = pr + ix_c;  // halo makes +-k and +-k*stride safe
+        Real lap = st.c[0] * pc[0] * (inv_dz2 + inv_dx2);
+        for (std::size_t k = 1; k <= st.halo; ++k) {
+          if (st.c[k] == Real(0)) break;
+          const auto kk = static_cast<std::ptrdiff_t>(k);
+          const auto ks = static_cast<std::ptrdiff_t>(k * dom.stride);
+          lap += st.c[k] *
+                 ((pc[kk] + pc[-kk]) * inv_dx2 + (pc[ks] + pc[-ks]) * inv_dz2);
+        }
+        pn[ix_c] = 2 * pc[0] - pp[ix_c] + cc[ix_c] * dt2 * lap;
+      }
+    }
+
+    p_next[src_cell] += cfg.source_amplitude *
+                        wavelet(static_cast<Real>(step) * cfg.dt) * src_c2 * dt2;
+
+    if (cfg.free_surface_top) {
+      Real* top = p_next.data() + dom.cell(0, 0);
+      for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) top[ix_c] = 0;
+    }
+
+    // Damp both time levels inside the sponge pads (Cerjan scheme).
+    for (std::size_t iz_c = 0; iz_c < dom.nz_c; ++iz_c) {
+      const Real wz = damp_z[iz_c];
+      Real* pn = p_next.data() + dom.cell(iz_c, 0);
+      Real* pr = p.data() + dom.cell(iz_c, 0);
+      for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+        const Real w = wz * damp_x[ix_c];
+        if (w != Real(1)) {
+          pn[ix_c] *= w;
+          pr[ix_c] *= w;
+        }
+      }
+    }
+
+    std::swap(p_prev, p);
+    std::swap(p, p_next);
+
+    per_step(step, p, dom);
+  }
+}
+
+}  // namespace
+
+Real max_stable_dt(const VelocityModel& model, int space_order) {
+  const Stencil st = stencil_for_order(space_order);
+  Real coeff_sum = std::abs(st.c[0]);
+  for (std::size_t k = 1; k <= st.halo; ++k) coeff_sum += 2 * std::abs(st.c[k]);
+  const Real h_min = std::min(model.grid().dz, model.grid().dx);
+  const Real c_max = model.max_velocity();
+  // 2-D von Neumann bound: c dt sqrt(2 * coeff_sum) / h <= 2.
+  return 2 * h_min / (c_max * std::sqrt(2 * coeff_sum));
+}
+
+ShotGather simulate_shot(const VelocityModel& model, const GridPos& source,
+                         const RickerWavelet& wavelet,
+                         const ReceiverLine& receivers,
+                         const FdtdConfig& config) {
+  for (std::size_t ix : receivers.ix)
+    if (receivers.iz >= model.nz() || ix >= model.nx())
+      throw std::invalid_argument("fdtd: receiver outside grid");
+  const std::size_t every = config.record_every == 0 ? 1 : config.record_every;
+  const std::size_t nt_rec = (config.nt + every - 1) / every;
+  ShotGather gather(nt_rec, receivers.count());
+
+  propagate(model, source, wavelet, config,
+            [&](std::size_t step, const std::vector<Real>& p, const auto& dom) {
+              if (step % every != 0) return;
+              const std::size_t t = step / every;
+              for (std::size_t r = 0; r < receivers.count(); ++r)
+                gather.at(t, r) = p[dom.cell(receivers.iz + dom.top_pad,
+                                             receivers.ix[r] + dom.side_pad)];
+            });
+  return gather;
+}
+
+std::vector<std::vector<Real>> simulate_wavefield(
+    const VelocityModel& model, const GridPos& source,
+    const RickerWavelet& wavelet, const FdtdConfig& config,
+    const std::vector<std::size_t>& snapshot_steps) {
+  std::vector<std::vector<Real>> snaps;
+  propagate(model, source, wavelet, config,
+            [&](std::size_t step, const std::vector<Real>& p, const auto& dom) {
+              for (std::size_t want : snapshot_steps) {
+                if (want != step) continue;
+                std::vector<Real> frame(model.nz() * model.nx());
+                for (std::size_t iz = 0; iz < model.nz(); ++iz)
+                  for (std::size_t ix = 0; ix < model.nx(); ++ix)
+                    frame[iz * model.nx() + ix] =
+                        p[dom.cell(iz + dom.top_pad, ix + dom.side_pad)];
+                snaps.push_back(std::move(frame));
+              }
+            });
+  return snaps;
+}
+
+}  // namespace qugeo::seismic

@@ -1,0 +1,94 @@
+#include "seismic/signal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qugeo::seismic {
+
+std::vector<Real> magnitude_spectrum(std::span<const Real> trace) {
+  const std::size_t n = trace.size();
+  if (n == 0) return {};
+  std::vector<Real> mag(n / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    Real re = 0, im = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const Real phase = -2 * kPi * static_cast<Real>(k) *
+                         static_cast<Real>(t) / static_cast<Real>(n);
+      re += trace[t] * std::cos(phase);
+      im += trace[t] * std::sin(phase);
+    }
+    mag[k] = std::sqrt(re * re + im * im);
+  }
+  return mag;
+}
+
+Real dominant_frequency(std::span<const Real> trace, Real dt) {
+  const auto mag = magnitude_spectrum(trace);
+  if (mag.size() < 2) return 0;
+  std::size_t best = 1;  // skip DC
+  for (std::size_t k = 2; k < mag.size(); ++k)
+    if (mag[k] > mag[best]) best = k;
+  return static_cast<Real>(best) /
+         (static_cast<Real>(trace.size()) * dt);
+}
+
+std::vector<Real> bandpass(std::span<const Real> trace, Real dt, Real low_hz,
+                           Real high_hz, std::size_t taps) {
+  if (taps % 2 == 0) throw std::invalid_argument("bandpass: taps must be odd");
+  if (low_hz < 0 || high_hz <= low_hz)
+    throw std::invalid_argument("bandpass: need 0 <= low < high");
+  const Real nyquist = Real(0.5) / dt;
+  if (high_hz > nyquist)
+    throw std::invalid_argument("bandpass: high corner above Nyquist");
+
+  // Windowed-sinc bandpass = highpass-cut sinc difference, Hamming window.
+  const std::size_t half = taps / 2;
+  std::vector<Real> h(taps);
+  const Real f1 = low_hz * dt, f2 = high_hz * dt;  // normalized (cycles/sample)
+  for (std::size_t i = 0; i < taps; ++i) {
+    const auto m = static_cast<Real>(i) - static_cast<Real>(half);
+    Real v;
+    if (m == 0) {
+      v = 2 * (f2 - f1);
+    } else {
+      v = (std::sin(2 * kPi * f2 * m) - std::sin(2 * kPi * f1 * m)) / (kPi * m);
+    }
+    const Real window =
+        Real(0.54) - Real(0.46) * std::cos(2 * kPi * static_cast<Real>(i) /
+                                           static_cast<Real>(taps - 1));
+    h[i] = v * window;
+  }
+
+  std::vector<Real> out(trace.size(), Real(0));
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    Real acc = 0;
+    for (std::size_t i = 0; i < taps; ++i) {
+      const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(t) +
+                                 static_cast<std::ptrdiff_t>(half) -
+                                 static_cast<std::ptrdiff_t>(i);
+      if (src < 0 || src >= static_cast<std::ptrdiff_t>(trace.size())) continue;
+      acc += h[i] * trace[static_cast<std::size_t>(src)];
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+std::vector<Real> agc(std::span<const Real> trace, std::size_t window,
+                      Real epsilon) {
+  if (window == 0 || window % 2 == 0)
+    throw std::invalid_argument("agc: window must be odd and positive");
+  const std::size_t half = window / 2;
+  std::vector<Real> out(trace.size());
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::size_t lo = t > half ? t - half : 0;
+    const std::size_t hi = std::min(trace.size(), t + half + 1);
+    Real energy = 0;
+    for (std::size_t k = lo; k < hi; ++k) energy += trace[k] * trace[k];
+    const Real rms = std::sqrt(energy / static_cast<Real>(hi - lo));
+    out[t] = trace[t] / (rms + epsilon);
+  }
+  return out;
+}
+
+}  // namespace qugeo::seismic

@@ -1,0 +1,32 @@
+// Trace signal processing: spectra, dominant frequency, bandpass filtering,
+// and automatic gain control. Used to verify the 15 Hz -> 8 Hz wavelet
+// adjustment quantitatively and as alternatives to the power-law time gain.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qugeo::seismic {
+
+/// Magnitude spectrum |DFT(x)| for bins 0..n/2 (naive O(n^2) DFT — traces
+/// are short).
+[[nodiscard]] std::vector<Real> magnitude_spectrum(std::span<const Real> trace);
+
+/// Frequency (Hz) of the largest non-DC spectral bin.
+[[nodiscard]] Real dominant_frequency(std::span<const Real> trace, Real dt);
+
+/// Zero-phase bandpass via a windowed-sinc FIR applied forward (linear
+/// convolution, edge-truncated). `taps` must be odd.
+[[nodiscard]] std::vector<Real> bandpass(std::span<const Real> trace, Real dt,
+                                         Real low_hz, Real high_hz,
+                                         std::size_t taps = 31);
+
+/// Automatic gain control: scale each sample by the inverse RMS of a
+/// centered window (length `window`, odd), an alternative to the power-law
+/// time gain of ScaleTarget.
+[[nodiscard]] std::vector<Real> agc(std::span<const Real> trace,
+                                    std::size_t window, Real epsilon = 1e-10);
+
+}  // namespace qugeo::seismic

@@ -1,0 +1,81 @@
+// Tensor/CSV serialization round trips and failure modes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/io.h"
+
+namespace qugeo {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "qugeo_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TensorRoundTrip) {
+  const std::vector<Real> data = {1.5, -2.25, 3.75, 0.0, 9.0, -1.0};
+  const std::vector<std::size_t> shape = {2, 3};
+  save_tensor(dir_ / "t.qgt", data, shape);
+  const LoadedTensor t = load_tensor(dir_ / "t.qgt");
+  EXPECT_EQ(t.shape, shape);
+  EXPECT_EQ(t.data, data);
+}
+
+TEST_F(IoTest, ScalarTensor) {
+  const std::vector<Real> data = {42.0};
+  const std::vector<std::size_t> shape = {};
+  save_tensor(dir_ / "s.qgt", data, shape);
+  const LoadedTensor t = load_tensor(dir_ / "s.qgt");
+  EXPECT_TRUE(t.shape.empty());
+  ASSERT_EQ(t.data.size(), 1u);
+  EXPECT_EQ(t.data[0], 42.0);
+}
+
+TEST_F(IoTest, ShapeMismatchRejected) {
+  const std::vector<Real> data = {1, 2, 3};
+  const std::vector<std::size_t> shape = {2, 2};
+  EXPECT_THROW(save_tensor(dir_ / "bad.qgt", data, shape), std::invalid_argument);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_tensor(dir_ / "absent.qgt"), std::runtime_error);
+}
+
+TEST_F(IoTest, CorruptMagicRejected) {
+  std::ofstream(dir_ / "junk.qgt") << "not a tensor";
+  EXPECT_THROW((void)load_tensor(dir_ / "junk.qgt"), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvWriterProducesHeaderAndRows) {
+  {
+    CsvWriter w(dir_ / "c.csv", {"epoch", "loss"});
+    const Real row1[] = {1.0, 0.5};
+    const Real row2[] = {2.0, 0.25};
+    w.append(row1);
+    w.append(row2);
+  }
+  std::ifstream in(dir_ / "c.csv");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "epoch,loss");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,0.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,0.25");
+}
+
+TEST_F(IoTest, CsvRowWidthChecked) {
+  CsvWriter w(dir_ / "c2.csv", {"a", "b", "c"});
+  const Real row[] = {1.0, 2.0};
+  EXPECT_THROW(w.append(row), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qugeo

@@ -1,0 +1,131 @@
+// RNG: determinism, distribution sanity, permutation validity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace qugeo {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng rng(8);
+  Real sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(-2, 4);
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  Real sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const Real x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<Real>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(13);
+  const auto p = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(15);
+  Rng child = parent.split();
+  Rng parent2(15);
+  Rng child2 = parent2.split();
+  // Splitting is deterministic...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // ...and the child's stream does not replay the parent's.
+  Rng parent3(15);
+  Rng child3 = parent3.split();
+  bool differ = false;
+  for (int i = 0; i < 10; ++i)
+    differ |= (parent3.next_u64() != child3.next_u64());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, FillHelpers) {
+  Rng rng(16);
+  std::vector<Real> u(100), n(100);
+  rng.fill_uniform(u, 2, 3);
+  rng.fill_normal(n, 10, 0.1);
+  for (Real x : u) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  Real mean = 0;
+  for (Real x : n) mean += x;
+  EXPECT_NEAR(mean / 100, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace qugeo

@@ -1,0 +1,127 @@
+// QuGeoVQC ansatz: the 576-parameter headline shape, grouping, batch-qubit
+// isolation (the U(theta) (x) I property QuBatch relies on).
+#include <gtest/gtest.h>
+
+#include "core/ansatz.h"
+#include "qsim/executor.h"
+
+namespace qugeo::core {
+namespace {
+
+TEST(Ansatz, PaperHeadlineParameterCount) {
+  // 8 qubits, 12 U3+CU3 blocks -> 12 * 8 * (3 + 3) = 576 parameters.
+  const QubitLayout lay({8}, 0);
+  AnsatzConfig cfg;
+  cfg.blocks = 12;
+  EXPECT_EQ(ansatz_param_count(lay, cfg), 576u);
+}
+
+TEST(Ansatz, ParamCountScalesWithBlocks) {
+  const QubitLayout lay({8}, 0);
+  for (std::size_t blocks : {1u, 4u, 12u, 20u}) {
+    AnsatzConfig cfg;
+    cfg.blocks = blocks;
+    EXPECT_EQ(ansatz_param_count(lay, cfg), 48u * blocks);
+  }
+}
+
+TEST(Ansatz, GateCountsPerBlock) {
+  const QubitLayout lay({8}, 0);
+  AnsatzConfig cfg;
+  cfg.blocks = 12;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, cfg);
+  EXPECT_EQ(c.num_ops(), 12u * 16u);  // 8 U3 + 8 CU3 per block
+  EXPECT_EQ(c.two_qubit_op_count(), 12u * 8u);
+}
+
+TEST(Ansatz, BatchQubitsAreNeverTouched) {
+  const QubitLayout lay({8}, 2);  // qubits 8, 9 are batch qubits
+  AnsatzConfig cfg;
+  cfg.blocks = 12;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, cfg);
+  EXPECT_EQ(c.num_qubits(), 10u);
+  for (const qsim::Op& op : c.ops()) {
+    EXPECT_LT(op.qubits[0], 8u);
+    if (qsim::gate_qubit_count(op.kind) == 2) EXPECT_LT(op.qubits[1], 8u);
+  }
+}
+
+TEST(Ansatz, TwoGroupsGetInterGroupGates) {
+  const QubitLayout lay({4, 4}, 0);
+  AnsatzConfig cfg;
+  cfg.blocks = 6;
+  cfg.entangle_every = 3;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, cfg);
+  // Look for gates bridging qubit ranges [0,4) and [4,8).
+  std::size_t bridges = 0;
+  for (const qsim::Op& op : c.ops()) {
+    if (qsim::gate_qubit_count(op.kind) != 2) continue;
+    const bool a_low = op.qubits[0] < 4, b_low = op.qubits[1] < 4;
+    if (a_low != b_low) ++bridges;
+  }
+  EXPECT_EQ(bridges, 2u * 2u);  // 2 bridge gates, twice (blocks 3 and 6)
+}
+
+TEST(Ansatz, EntangleEveryZeroDisablesBridges) {
+  const QubitLayout lay({4, 4}, 0);
+  AnsatzConfig cfg;
+  cfg.blocks = 6;
+  cfg.entangle_every = 0;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, cfg);
+  for (const qsim::Op& op : c.ops()) {
+    if (qsim::gate_qubit_count(op.kind) != 2) continue;
+    EXPECT_EQ(op.qubits[0] < 4, op.qubits[1] < 4);
+  }
+}
+
+TEST(Ansatz, BlockDiagonalActionOnBatchedState) {
+  // With one batch qubit, running the ansatz must act identically on the
+  // two batch blocks: U (x) I. Prepare a state whose blocks hold two
+  // different data vectors; after the circuit, block b must equal U times
+  // the original block b, i.e. running the unbatched circuit on each block
+  // separately must agree.
+  const QubitLayout batched({2}, 1);
+  const QubitLayout plain({2}, 0);
+  AnsatzConfig cfg;
+  cfg.blocks = 2;
+  const qsim::Circuit cb = build_qugeo_ansatz(batched, cfg);
+  const qsim::Circuit cp = build_qugeo_ansatz(plain, cfg);
+  ASSERT_EQ(cb.num_params(), cp.num_params());
+  std::vector<Real> params(cb.num_params());
+  Rng rng(3);
+  rng.fill_uniform(params, -1, 1);
+
+  const std::vector<Real> block0 = {0.5, -0.5, 0.5, 0.5};
+  const std::vector<Real> block1 = {0.1, 0.2, 0.3, 0.9};
+
+  qsim::StateVector joint(3);
+  std::vector<Real> amps;
+  amps.insert(amps.end(), block0.begin(), block0.end());
+  amps.insert(amps.end(), block1.begin(), block1.end());
+  // Normalize jointly.
+  Real norm = 0;
+  for (Real a : amps) norm += a * a;
+  for (Real& a : amps) a /= std::sqrt(norm);
+  joint.set_amplitudes_real(amps);
+  qsim::run_circuit(cb, params, joint);
+
+  for (int b = 0; b < 2; ++b) {
+    qsim::StateVector single(2);
+    std::vector<Real> block = b == 0 ? block0 : block1;
+    Real bn = 0;
+    for (Real a : block) bn += a * a;
+    for (Real& a : block) a /= std::sqrt(bn);
+    single.set_amplitudes_real(block);
+    qsim::run_circuit(cp, params, single);
+    // Compare joint block (renormalized) to the single-sample run.
+    const Real block_weight = std::sqrt(bn / norm);
+    for (Index k = 0; k < 4; ++k) {
+      const Complex joint_amp = joint.amplitude(static_cast<Index>(b) * 4 + k);
+      const Complex expect = single.amplitude(k) * block_weight;
+      EXPECT_NEAR(std::abs(joint_amp - expect), 0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qugeo::core

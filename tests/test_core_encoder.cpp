@@ -1,0 +1,133 @@
+// ST-Encoder: faithful amplitude injection, grouping by source, QuBatch
+// concatenation semantics, synthesized prep circuits.
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "core/encoder.h"
+#include "qsim/executor.h"
+
+namespace qugeo::core {
+namespace {
+
+std::vector<Real> ramp(std::size_t n, Real start = 1.0) {
+  std::vector<Real> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = start + static_cast<Real>(i);
+  return v;
+}
+
+TEST(StEncoder, SingleSampleAmplitudes) {
+  const QubitLayout lay({3}, 0);
+  const StEncoder enc(lay);
+  std::vector<Real> w = ramp(8);
+  const qsim::StateVector psi = enc.encode_single(w);
+  normalize_l2(w);
+  for (Index k = 0; k < 8; ++k)
+    EXPECT_NEAR(psi.amplitude(k).real(), w[k], 1e-12);
+  EXPECT_NEAR(psi.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(StEncoder, RejectsWrongSampleSize) {
+  const QubitLayout lay({3}, 0);
+  const StEncoder enc(lay);
+  const std::vector<Real> bad = ramp(7);
+  EXPECT_THROW((void)enc.encode_single(bad), std::invalid_argument);
+}
+
+TEST(StEncoder, RejectsWrongBatchCount) {
+  const QubitLayout lay({3}, 1);  // expects 2 samples
+  const StEncoder enc(lay);
+  const std::vector<Real> w = ramp(8);
+  const std::vector<Real>* one[] = {&w};
+  EXPECT_THROW((void)enc.encode(one), std::invalid_argument);
+}
+
+TEST(StEncoder, GroupsSplitContiguously) {
+  // Two groups of 4 values; group data must land in the right registers.
+  const QubitLayout lay({2, 2}, 0);
+  const StEncoder enc(lay);
+  const std::vector<Real> w = {1, 0, 0, 0, /*group1:*/ 0, 1, 0, 0};
+  const qsim::StateVector psi = enc.encode_single(w);
+  // group0 -> |00> on qubits 0-1; group1 -> |01> meaning qubit2=1.
+  EXPECT_NEAR(psi.probability(0b0100), 1.0, 1e-12);
+}
+
+TEST(StEncoder, BatchConcatenationOrder) {
+  // Batch of 2 on a 2-value register: amplitudes = [s0, s1] / ||.||.
+  const QubitLayout lay({1}, 1);
+  const StEncoder enc(lay);
+  const std::vector<Real> s0 = {3, 0};
+  const std::vector<Real> s1 = {0, 4};
+  const std::vector<Real>* batch[] = {&s0, &s1};
+  const qsim::StateVector psi = enc.encode(batch);
+  EXPECT_NEAR(psi.amplitude(0).real(), 0.6, 1e-12);  // 3/5
+  EXPECT_NEAR(psi.amplitude(3).real(), 0.8, 1e-12);  // 4/5, block 1 offset 2
+}
+
+TEST(StEncoder, JointNormalizationPreservesRelativeScale) {
+  // The paper: batching lowers precision but keeps relative relationships.
+  const QubitLayout lay({2}, 1);
+  const StEncoder enc(lay);
+  const std::vector<Real> s0 = {2, 0, 0, 0};
+  const std::vector<Real> s1 = {0, 0, 0, 6};
+  const std::vector<Real>* batch[] = {&s0, &s1};
+  const qsim::StateVector psi = enc.encode(batch);
+  // Ratio of amplitudes must match the raw data ratio 6/2 = 3.
+  EXPECT_NEAR(psi.amplitude(7).real() / psi.amplitude(0).real(), 3.0, 1e-12);
+}
+
+TEST(StEncoder, NormalizedViewMatchesState) {
+  const QubitLayout lay({3}, 0);
+  const StEncoder enc(lay);
+  const std::vector<Real> w = ramp(8, -3.0);
+  const std::vector<Real>* batch[] = {&w};
+  const auto view = enc.normalized_view(batch);
+  const qsim::StateVector psi = enc.encode(batch);
+  ASSERT_EQ(view.size(), 8u);
+  for (Index k = 0; k < 8; ++k)
+    EXPECT_NEAR(view[k], psi.amplitude(k).real(), 1e-12);
+}
+
+TEST(StEncoder, PrepCircuitReproducesDirectInjection) {
+  const QubitLayout lay({3}, 0);
+  const StEncoder enc(lay);
+  const std::vector<Real> w = {0.3, -0.1, 0.7, 0.2, -0.5, 0.9, 0.05, -0.4};
+  const std::vector<Real>* batch[] = {&w};
+  const qsim::StateVector direct = enc.encode(batch);
+
+  const qsim::Circuit prep = enc.prep_circuit(batch);
+  qsim::StateVector synth(lay.total_qubits());
+  qsim::run_circuit(prep, {}, synth);
+  EXPECT_NEAR(synth.fidelity(direct), 1.0, 1e-10);
+}
+
+TEST(StEncoder, PrepCircuitGroupedAndBatched) {
+  const QubitLayout lay({2, 2}, 1);  // 2 groups + 1 batch qubit each = 6 qubits
+  const StEncoder enc(lay);
+  const std::vector<Real> s0 = {0.4, 0.1, -0.3, 0.8, 0.2, 0.2, 0.5, -0.1};
+  const std::vector<Real> s1 = {0.9, -0.2, 0.1, 0.3, -0.6, 0.4, 0.2, 0.7};
+  const std::vector<Real>* batch[] = {&s0, &s1};
+  const qsim::StateVector direct = enc.encode(batch);
+  const qsim::Circuit prep = enc.prep_circuit(batch);
+  EXPECT_EQ(prep.num_qubits(), 6u);
+  qsim::StateVector synth(6);
+  qsim::run_circuit(prep, {}, synth);
+  EXPECT_NEAR(synth.fidelity(direct), 1.0, 1e-10);
+}
+
+TEST(StEncoder, EncoderDepthGrowsLinearlyWithBatch) {
+  // Sec. 3.3.3: per-group encoder length grows with log(B) qubits, i.e. the
+  // gate count doubles per batch doubling (linear in state dimension).
+  const std::vector<Real> base = ramp(8);
+  std::vector<std::size_t> ops;
+  for (Index blog : {0u, 1u, 2u}) {
+    const QubitLayout lay({3}, blog);
+    const StEncoder enc(lay);
+    std::vector<const std::vector<Real>*> batch(lay.batch_size(), &base);
+    ops.push_back(enc.prep_circuit(batch).num_ops());
+  }
+  EXPECT_LE(ops[1], 2 * ops[0] + 4);
+  EXPECT_LE(ops[2], 2 * ops[1] + 4);
+}
+
+}  // namespace
+}  // namespace qugeo::core

@@ -1,0 +1,90 @@
+// Experiment helpers and the InversionNet-lite reference model.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace qugeo::core {
+namespace {
+
+data::ExperimentData synthetic_corpus(std::size_t n, Rng& rng) {
+  data::ExperimentData d;
+  d.qdfw.samples.resize(n);
+  for (auto& s : d.qdfw.samples) {
+    s.waveform.resize(d.qdfw.waveform_size());
+    rng.fill_uniform(s.waveform, -1, 1);
+    s.velocity.resize(d.qdfw.velocity_size());
+    for (std::size_t r = 0; r < 8; ++r) {
+      Real m = 0;
+      for (std::size_t k = 0; k < 16; ++k) m += std::abs(s.waveform[r * 16 + k]);
+      for (std::size_t c = 0; c < 8; ++c) s.velocity[r * 8 + c] = m / 16.0;
+    }
+  }
+  d.dsample = d.qdcnn = d.qdfw;
+  d.train_count = n * 3 / 4;
+  return d;
+}
+
+TEST(InversionNetRef, HasManyMoreParamsThanMatchedBaselines) {
+  Rng rng(1);
+  ClassicalConfig matched;
+  ClassicalConfig reference = matched;
+  reference.inversion_net_reference = true;
+  const ClassicalFwiNet small(matched, rng);
+  const ClassicalFwiNet big(reference, rng);
+  EXPECT_GT(big.param_count(), 10 * small.param_count());
+  EXPECT_GT(big.param_count(), 10000u);
+}
+
+TEST(InversionNetRef, TrainsViaExperimentRunner) {
+  Rng rng(2);
+  const data::ExperimentData d = synthetic_corpus(16, rng);
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.initial_lr = 0.005;
+  const ExperimentResult r = run_classical_experiment(
+      d, "Q-D-FW", DecoderKind::kPixel, tc, 42, true);
+  EXPECT_EQ(r.model_name, "INet-ref");
+  EXPECT_LT(r.train.curve.back().train_loss, r.train.curve.front().train_loss);
+}
+
+TEST(InversionNetRef, OutperformsMatchedCnnOnLearnableTask) {
+  // More capacity on the same synthetic task must not do worse on train
+  // loss (it bounds the classical headroom in Table 2's extension row).
+  Rng rng(3);
+  const data::ExperimentData d = synthetic_corpus(24, rng);
+  TrainConfig tc;
+  tc.epochs = 25;
+  tc.initial_lr = 0.005;
+  const auto small =
+      run_classical_experiment(d, "Q-D-FW", DecoderKind::kPixel, tc, 42, false);
+  const auto big =
+      run_classical_experiment(d, "Q-D-FW", DecoderKind::kPixel, tc, 42, true);
+  EXPECT_LT(big.train.curve.back().train_loss,
+            small.train.curve.back().train_loss * 1.5);
+}
+
+TEST(ExperimentSpec, VqcRunnerHonorsBlocks) {
+  Rng rng(4);
+  const data::ExperimentData d = synthetic_corpus(8, rng);
+  TrainConfig tc;
+  tc.epochs = 2;
+  ExperimentSpec spec;
+  spec.blocks = 3;
+  const ExperimentResult r = run_vqc_experiment(d, spec, tc);
+  EXPECT_EQ(r.param_count, 3u * 48u);
+}
+
+TEST(ExperimentSpec, QuBatchRunnerTrains) {
+  Rng rng(5);
+  const data::ExperimentData d = synthetic_corpus(8, rng);
+  TrainConfig tc;
+  tc.epochs = 3;
+  ExperimentSpec spec;
+  spec.blocks = 2;
+  spec.batch_log2 = 1;
+  const ExperimentResult r = run_vqc_experiment(d, spec, tc);
+  EXPECT_EQ(r.train.curve.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qugeo::core

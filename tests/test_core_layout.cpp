@@ -1,0 +1,69 @@
+// Qubit layout: register placement, qubit budgets, QuBatch block decoding.
+#include <gtest/gtest.h>
+
+#include "core/layout.h"
+
+namespace qugeo::core {
+namespace {
+
+TEST(Layout, SingleGroupNoBatch) {
+  const QubitLayout lay({8}, 0);
+  EXPECT_EQ(lay.total_qubits(), 8u);
+  EXPECT_EQ(lay.sample_size(), 256u);
+  EXPECT_EQ(lay.batch_size(), 1u);
+  EXPECT_EQ(lay.data_qubits().size(), 8u);
+  EXPECT_EQ(lay.group(0).offset, 0u);
+}
+
+TEST(Layout, BatchAddsLogBQubitsPerGroup) {
+  // The paper's QuBatch overhead: G * log2(B) extra qubits.
+  const QubitLayout b2({8}, 1);
+  EXPECT_EQ(b2.total_qubits(), 9u);
+  EXPECT_EQ(b2.batch_size(), 2u);
+  const QubitLayout b4({8}, 2);
+  EXPECT_EQ(b4.total_qubits(), 10u);
+  const QubitLayout grouped({7, 7}, 1);
+  EXPECT_EQ(grouped.total_qubits(), 16u);  // 2*(7+1)
+}
+
+TEST(Layout, TwoGroupRegisterOffsets) {
+  const QubitLayout lay({7, 7}, 0);
+  EXPECT_EQ(lay.total_qubits(), 14u);
+  EXPECT_EQ(lay.sample_size(), 256u);
+  EXPECT_EQ(lay.group(0).offset, 0u);
+  EXPECT_EQ(lay.group(1).offset, 7u);
+  EXPECT_EQ(lay.data_qubits().size(), 14u);
+  EXPECT_EQ(lay.data_qubits()[7], 7u);
+}
+
+TEST(Layout, BlockOfWithoutBatchIsZero) {
+  const QubitLayout lay({3}, 0);
+  for (Index k = 0; k < 8; ++k) EXPECT_EQ(lay.block_of(k), 0u);
+}
+
+TEST(Layout, BlockOfSingleGroup) {
+  const QubitLayout lay({2}, 1);  // qubits 0-1 data, qubit 2 batch
+  EXPECT_EQ(lay.block_of(0b000), 0u);
+  EXPECT_EQ(lay.block_of(0b011), 0u);
+  EXPECT_EQ(lay.block_of(0b100), 1u);
+  EXPECT_EQ(lay.block_of(0b111), 1u);
+}
+
+TEST(Layout, BlockOfTwoGroupsRequiresAgreement) {
+  // Groups of 1 data qubit each with 1 batch qubit:
+  // register0 = qubits {0 data, 1 batch}; register1 = {2 data, 3 batch}.
+  const QubitLayout lay({1, 1}, 1);
+  EXPECT_EQ(lay.total_qubits(), 4u);
+  EXPECT_EQ(lay.block_of(0b0000), 0u);
+  EXPECT_EQ(lay.block_of(0b1010), 1u);  // both batch bits set
+  EXPECT_EQ(lay.block_of(0b0010), QubitLayout::kInvalidBlock);  // disagree
+  EXPECT_EQ(lay.block_of(0b1000), QubitLayout::kInvalidBlock);
+}
+
+TEST(Layout, Validation) {
+  EXPECT_THROW(QubitLayout({}, 0), std::invalid_argument);
+  EXPECT_THROW(QubitLayout({0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qugeo::core

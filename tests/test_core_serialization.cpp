@@ -1,0 +1,92 @@
+// Model checkpointing: round trip, fingerprint mismatch rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/serialization.h"
+
+namespace qugeo::core {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "qugeo_ckpt_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+ModelConfig small_config() {
+  ModelConfig mc;
+  mc.group_data_qubits = {3};
+  mc.ansatz.blocks = 2;
+  mc.decoder = DecoderKind::kLayer;
+  mc.vel_rows = 3;
+  mc.vel_cols = 2;
+  return mc;
+}
+
+TEST_F(SerializationTest, RoundTripRestoresParameters) {
+  Rng rng(1);
+  QuGeoModel a(small_config(), rng);
+  save_model(dir_ / "a.qgt", a);
+
+  Rng rng2(999);  // different init
+  QuGeoModel b(small_config(), rng2);
+  EXPECT_NE(a.parameters()[0], b.parameters()[0]);
+  load_model(dir_ / "a.qgt", b);
+  EXPECT_EQ(a.parameters(), b.parameters());
+}
+
+TEST_F(SerializationTest, LoadedModelPredictsIdentically) {
+  Rng rng(2);
+  QuGeoModel a(small_config(), rng);
+  save_model(dir_ / "m.qgt", a);
+  Rng rng2(3);
+  QuGeoModel b(small_config(), rng2);
+  load_model(dir_ / "m.qgt", b);
+
+  data::ScaledSample s;
+  s.waveform.resize(8);
+  rng.fill_uniform(s.waveform, -1, 1);
+  s.velocity.assign(6, 0.5);
+  const data::ScaledSample* chunk[] = {&s};
+  EXPECT_EQ(a.predict(chunk)[0], b.predict(chunk)[0]);
+}
+
+TEST_F(SerializationTest, FingerprintMismatchRejected) {
+  Rng rng(4);
+  QuGeoModel a(small_config(), rng);
+  save_model(dir_ / "a.qgt", a);
+
+  ModelConfig other = small_config();
+  other.ansatz.blocks = 3;  // different architecture
+  QuGeoModel b(other, rng);
+  EXPECT_THROW(load_model(dir_ / "a.qgt", b), std::runtime_error);
+}
+
+TEST_F(SerializationTest, DecoderKindChangesFingerprint) {
+  ModelConfig ly = small_config();
+  ModelConfig px = small_config();
+  px.decoder = DecoderKind::kPixel;
+  px.vel_rows = 2;
+  EXPECT_NE(model_fingerprint(ly), model_fingerprint(px));
+}
+
+TEST_F(SerializationTest, GroupingChangesFingerprint) {
+  ModelConfig a = small_config();
+  ModelConfig b = small_config();
+  b.group_data_qubits = {2, 1};
+  EXPECT_NE(model_fingerprint(a), model_fingerprint(b));
+}
+
+TEST_F(SerializationTest, MissingFileThrows) {
+  Rng rng(5);
+  QuGeoModel m(small_config(), rng);
+  EXPECT_THROW(load_model(dir_ / "absent.qgt", m), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qugeo::core

@@ -1,0 +1,123 @@
+// Shot-based readout: convergence to exact expectations with the shot
+// budget, and end-to-end sampled prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/shot_readout.h"
+#include "qsim/encoding.h"
+
+namespace qugeo::core {
+namespace {
+
+qsim::StateVector random_state(Index qubits, Rng& rng) {
+  qsim::StateVector psi(qubits);
+  std::vector<Real> data(psi.dim());
+  rng.fill_uniform(data, -1, 1);
+  qsim::encode_amplitudes(data, psi);
+  return psi;
+}
+
+TEST(ShotReadout, ZEstimateConvergesWithShots) {
+  Rng rng(1);
+  const qsim::StateVector psi = random_state(3, rng);
+  const std::vector<Index> qubits = {0, 1, 2};
+
+  Rng shot_rng(2);
+  const auto z_few = estimate_z_from_shots(psi, qubits, shot_rng, 100);
+  const auto z_many = estimate_z_from_shots(psi, qubits, shot_rng, 50000);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Real exact = psi.expect_z(qubits[i]);
+    EXPECT_NEAR(z_many[i], exact, 0.02);
+    // Error must shrink with shots (statistically; generous margins).
+    EXPECT_LE(std::abs(z_many[i] - exact), std::abs(z_few[i] - exact) + 0.02);
+  }
+}
+
+TEST(ShotReadout, ZEstimateIsExactForBasisStates) {
+  qsim::StateVector psi(2);  // |00>
+  Rng rng(3);
+  const std::vector<Index> qubits = {0, 1};
+  const auto z = estimate_z_from_shots(psi, qubits, rng, 10);
+  EXPECT_EQ(z[0], 1.0);
+  EXPECT_EQ(z[1], 1.0);
+}
+
+TEST(ShotReadout, MarginalEstimateSumsToOne) {
+  Rng rng(4);
+  const qsim::StateVector psi = random_state(4, rng);
+  const std::vector<Index> qubits = {1, 3};
+  Rng shot_rng(5);
+  const auto m = estimate_marginal_from_shots(psi, qubits, shot_rng, 5000);
+  ASSERT_EQ(m.size(), 4u);
+  Real sum = 0;
+  for (Real v : m) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  const auto exact = psi.marginal_probabilities(qubits);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(m[k], exact[k], 0.03);
+}
+
+TEST(ShotReadout, ZeroShotsRejected) {
+  qsim::StateVector psi(1);
+  Rng rng(6);
+  const std::vector<Index> qubits = {0};
+  EXPECT_THROW((void)estimate_z_from_shots(psi, qubits, rng, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate_marginal_from_shots(psi, qubits, rng, 0),
+               std::invalid_argument);
+}
+
+TEST(ShotReadout, PredictionConvergesToExactDecoder) {
+  Rng rng(7);
+  ModelConfig mc;
+  mc.group_data_qubits = {3};
+  mc.ansatz.blocks = 2;
+  mc.decoder = DecoderKind::kLayer;
+  mc.vel_rows = 3;
+  mc.vel_cols = 2;
+  QuGeoModel model(mc, rng);
+
+  data::ScaledSample s;
+  s.waveform.resize(8);
+  s.velocity.resize(6);
+  rng.fill_uniform(s.waveform, -1, 1);
+  rng.fill_uniform(s.velocity, 0, 1);
+  const data::ScaledSample* chunk[] = {&s};
+
+  const auto exact = model.predict(chunk)[0];
+  Rng shot_rng(8);
+  const auto sampled = predict_with_shots(model, chunk, shot_rng, 200000)[0];
+  for (std::size_t k = 0; k < exact.size(); ++k)
+    EXPECT_NEAR(sampled[k], exact[k], 0.02) << "pixel " << k;
+}
+
+TEST(ShotReadout, RejectsBatchedAndPixelModels) {
+  Rng rng(9);
+  ModelConfig batched;
+  batched.group_data_qubits = {3};
+  batched.batch_log2 = 1;
+  batched.ansatz.blocks = 1;
+  batched.vel_rows = 3;
+  batched.vel_cols = 2;
+  QuGeoModel mb(batched, rng);
+  data::ScaledSample s;
+  s.waveform.assign(8, 0.5);
+  s.velocity.assign(6, 0.5);
+  const data::ScaledSample* chunk[] = {&s};
+  Rng shot_rng(10);
+  EXPECT_THROW((void)predict_with_shots(mb, chunk, shot_rng, 10),
+               std::invalid_argument);
+
+  ModelConfig px;
+  px.group_data_qubits = {3};
+  px.ansatz.blocks = 1;
+  px.decoder = DecoderKind::kPixel;
+  px.vel_rows = 2;
+  px.vel_cols = 2;
+  QuGeoModel mp(px, rng);
+  EXPECT_THROW((void)predict_with_shots(mp, chunk, shot_rng, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qugeo::core

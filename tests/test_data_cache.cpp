@@ -1,0 +1,84 @@
+// Scaled-dataset serialization round trip and env-driven configuration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "data/cache.h"
+
+namespace qugeo::data {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "qugeo_cache_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+ScaledDataset tiny_dataset(std::size_t n) {
+  ScaledDataset ds;
+  ds.scaler_name = "test";
+  ds.samples.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.samples[i].waveform.assign(ds.waveform_size(),
+                                  static_cast<Real>(i) + 0.5);
+    ds.samples[i].velocity.assign(ds.velocity_size(),
+                                  static_cast<Real>(i) * 0.1);
+  }
+  return ds;
+}
+
+TEST_F(CacheTest, SaveLoadRoundTrip) {
+  const ScaledDataset ds = tiny_dataset(4);
+  save_scaled_dataset(dir_ / "ds", ds);
+  EXPECT_TRUE(scaled_dataset_exists(dir_ / "ds"));
+  const ScaledDataset back = load_scaled_dataset(dir_ / "ds");
+  EXPECT_EQ(back.size(), 4u);
+  EXPECT_EQ(back.nsrc, ds.nsrc);
+  EXPECT_EQ(back.vel_rows, ds.vel_rows);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.samples[i].waveform, ds.samples[i].waveform);
+    EXPECT_EQ(back.samples[i].velocity, ds.samples[i].velocity);
+  }
+}
+
+TEST_F(CacheTest, ExistsIsFalseForMissing) {
+  EXPECT_FALSE(scaled_dataset_exists(dir_ / "nothing"));
+}
+
+TEST(CacheConfig, EnvOverrides) {
+  setenv("QUGEO_SAMPLES", "32", 1);
+  setenv("QUGEO_TRAIN", "24", 1);
+  setenv("QUGEO_SEED", "777", 1);
+  const ExperimentDataConfig cfg = experiment_config_from_env();
+  EXPECT_EQ(cfg.num_samples, 32u);
+  EXPECT_EQ(cfg.train_count, 24u);
+  EXPECT_EQ(cfg.seed, 777u);
+  unsetenv("QUGEO_SAMPLES");
+  unsetenv("QUGEO_TRAIN");
+  unsetenv("QUGEO_SEED");
+}
+
+TEST(CacheConfig, TrainClampedBelowTotal) {
+  setenv("QUGEO_SAMPLES", "20", 1);
+  setenv("QUGEO_TRAIN", "50", 1);
+  const ExperimentDataConfig cfg = experiment_config_from_env();
+  EXPECT_LT(cfg.train_count, cfg.num_samples);
+  unsetenv("QUGEO_SAMPLES");
+  unsetenv("QUGEO_TRAIN");
+}
+
+TEST(CacheConfig, EpochsFromEnv) {
+  unsetenv("QUGEO_EPOCHS");
+  EXPECT_EQ(epochs_from_env(123), 123u);
+  setenv("QUGEO_EPOCHS", "55", 1);
+  EXPECT_EQ(epochs_from_env(123), 55u);
+  unsetenv("QUGEO_EPOCHS");
+}
+
+}  // namespace
+}  // namespace qugeo::data

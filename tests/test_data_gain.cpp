@@ -1,0 +1,84 @@
+// Time-gain preprocessing and its interaction with the scalers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/scaling.h"
+
+namespace qugeo::data {
+namespace {
+
+TEST(TimeGain, ScalesLateSamplesUp) {
+  ScaleTarget t;
+  t.nsrc = 1;
+  t.nt = 4;
+  t.nrec = 2;
+  t.time_gain_power = 1.0;
+  std::vector<Real> w(8, 1.0);
+  apply_time_gain(w, t);
+  // gain(t) = (t+1)/4 for t = 0..3.
+  EXPECT_NEAR(w[0], 0.25, 1e-12);
+  EXPECT_NEAR(w[1], 0.25, 1e-12);
+  EXPECT_NEAR(w[6], 1.0, 1e-12);
+  EXPECT_NEAR(w[7], 1.0, 1e-12);
+}
+
+TEST(TimeGain, PowerTwoIsSquaredRamp) {
+  ScaleTarget t;
+  t.nsrc = 1;
+  t.nt = 4;
+  t.nrec = 1;
+  t.time_gain_power = 2.0;
+  std::vector<Real> w(4, 1.0);
+  apply_time_gain(w, t);
+  EXPECT_NEAR(w[0], 0.0625, 1e-12);
+  EXPECT_NEAR(w[1], 0.25, 1e-12);
+  EXPECT_NEAR(w[3], 1.0, 1e-12);
+}
+
+TEST(TimeGain, ZeroPowerIsIdentity) {
+  ScaleTarget t;
+  t.nt = 4;
+  t.nrec = 2;
+  t.nsrc = 1;
+  t.time_gain_power = 0.0;
+  std::vector<Real> w = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto before = w;
+  apply_time_gain(w, t);
+  EXPECT_EQ(w, before);
+}
+
+TEST(TimeGain, AppliesPerSource) {
+  ScaleTarget t;
+  t.nsrc = 2;
+  t.nt = 2;
+  t.nrec = 1;
+  t.time_gain_power = 1.0;
+  std::vector<Real> w = {1, 1, 1, 1};
+  apply_time_gain(w, t);
+  // Both sources see the same (0.5, 1.0) ramp.
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+  EXPECT_NEAR(w[1], 1.0, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+  EXPECT_NEAR(w[3], 1.0, 1e-12);
+}
+
+TEST(TimeGain, ShapeMismatchRejected) {
+  ScaleTarget t;
+  std::vector<Real> w(10, 1.0);
+  EXPECT_THROW(apply_time_gain(w, t), std::invalid_argument);
+}
+
+TEST(TimeGain, PreservesSign) {
+  ScaleTarget t;
+  t.nsrc = 1;
+  t.nt = 2;
+  t.nrec = 1;
+  std::vector<Real> w = {-3.0, -5.0};
+  apply_time_gain(w, t);
+  EXPECT_LT(w[0], 0.0);
+  EXPECT_LT(w[1], 0.0);
+}
+
+}  // namespace
+}  // namespace qugeo::data

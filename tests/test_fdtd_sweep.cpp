@@ -1,0 +1,94 @@
+// Parameterized FDTD sweeps: stability and kinematics across stencil
+// orders and grid spacings (property-style coverage of the solver).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seismic/fdtd.h"
+
+namespace qugeo::seismic {
+namespace {
+
+class StencilOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilOrder, StaysStableAtCflBound) {
+  const int order = GetParam();
+  const VelocityModel m(Grid2D{30, 30, 10, 10}, 4500.0);  // fastest rock
+  FdtdConfig cfg;
+  cfg.space_order = order;
+  cfg.dt = 0.99 * max_stable_dt(m, order);
+  cfg.nt = 400;
+  const RickerWavelet w(15.0);
+  const ReceiverLine rec = make_receiver_line(30, 5);
+  const ShotGather g = simulate_shot(m, {0, 15}, w, rec, cfg);
+  for (std::size_t t = 0; t < g.nt(); ++t)
+    for (std::size_t r = 0; r < g.nrec(); ++r)
+      ASSERT_TRUE(std::isfinite(g.at(t, r))) << "order " << order;
+}
+
+TEST_P(StencilOrder, EnergyBoundedOverLongRun) {
+  const int order = GetParam();
+  const VelocityModel m(Grid2D{24, 24, 10, 10}, 2000.0);
+  FdtdConfig cfg;
+  cfg.space_order = order;
+  cfg.dt = 0.9 * max_stable_dt(m, order);
+  cfg.nt = 2000;
+  const RickerWavelet w(15.0);
+  const auto frames = simulate_wavefield(m, {12, 12}, w, cfg, {300, 1999});
+  ASSERT_EQ(frames.size(), 2u);
+  Real e_early = 0, e_late = 0;
+  for (Real v : frames[0]) e_early += v * v;
+  for (Real v : frames[1]) e_late += v * v;
+  EXPECT_LT(e_late, e_early);  // absorbing boundaries remove energy
+}
+
+TEST_P(StencilOrder, TravelTimeIndependentOfOrder) {
+  const int order = GetParam();
+  const Real c = 2500.0;
+  const VelocityModel m(Grid2D{50, 50, 10, 10}, c);
+  FdtdConfig cfg;
+  cfg.space_order = order;
+  cfg.dt = 0.5e-3;
+  cfg.nt = 500;
+  const RickerWavelet w(15.0);
+  ReceiverLine rec;
+  rec.iz = 0;
+  rec.ix = {45};
+  const ShotGather g = simulate_shot(m, {0, 5}, w, rec, cfg);
+
+  Real peak = 0;
+  std::size_t arrival = g.nt();
+  for (std::size_t t = 0; t < g.nt(); ++t)
+    peak = std::max(peak, std::abs(g.at(t, 0)));
+  for (std::size_t t = 0; t < g.nt(); ++t)
+    if (std::abs(g.at(t, 0)) > 0.2 * peak) {
+      arrival = t;
+      break;
+    }
+  const Real t_expected = 400.0 / c + w.delay();
+  EXPECT_NEAR(static_cast<Real>(arrival) * cfg.dt, t_expected, 0.06)
+      << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StencilOrder, ::testing::Values(2, 4, 8));
+
+class GridSpacing : public ::testing::TestWithParam<Real> {};
+
+TEST_P(GridSpacing, CflBoundScalesLinearlyWithSpacing) {
+  const Real h = GetParam();
+  const VelocityModel coarse(Grid2D{16, 16, h, h}, 3000.0);
+  const VelocityModel fine(Grid2D{16, 16, h / 2, h / 2}, 3000.0);
+  EXPECT_NEAR(max_stable_dt(coarse, 4) / max_stable_dt(fine, 4), 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, GridSpacing,
+                         ::testing::Values(5.0, 10.0, 12.5, 25.0));
+
+TEST(FdtdSweep, CflBoundInverseInVelocity) {
+  const VelocityModel slow(Grid2D{16, 16, 10, 10}, 1500.0);
+  const VelocityModel fast(Grid2D{16, 16, 10, 10}, 4500.0);
+  EXPECT_NEAR(max_stable_dt(slow, 4) / max_stable_dt(fast, 4), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qugeo::seismic

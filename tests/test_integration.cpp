@@ -1,0 +1,128 @@
+// Integration: the whole pipeline — synthesize a small FlatVel corpus, run
+// both physical scalers, train a small VQC, and verify it learns the
+// inversion task better than chance. This is a miniature of the paper's
+// experiment loop.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace qugeo::core {
+namespace {
+
+/// Shared tiny corpus (built once; FDTD makes this the slowest test file).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(20240613);
+    seismic::FlatVelConfig vcfg;
+    vcfg.nz = 35;
+    vcfg.nx = 35;
+    seismic::Acquisition acq;
+    acq.num_sources = 5;
+    acq.num_receivers = 35;
+    acq.num_time_samples = 250;
+    raw_ = new data::RawDataset(
+        data::generate_raw_dataset(20, vcfg, acq, rng));
+
+    const data::ScaleTarget target;
+    const data::DSampleScaler dsample(target);
+    const data::ForwardModelScaler qdfw(target);
+    data_ = new data::ExperimentData();
+    data_->dsample = dsample.scale_dataset(*raw_, data::ScaleTarget{});
+    data_->qdfw = qdfw.scale_dataset(*raw_, data::ScaleTarget{});
+    data_->qdcnn = data_->qdfw;  // CNN training is covered in its own test
+    data_->qdcnn.scaler_name = "Q-D-CNN";
+    data_->train_count = 15;
+  }
+  static void TearDownTestSuite() {
+    delete raw_;
+    delete data_;
+    raw_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static data::RawDataset* raw_;
+  static data::ExperimentData* data_;
+};
+
+data::RawDataset* IntegrationTest::raw_ = nullptr;
+data::ExperimentData* IntegrationTest::data_ = nullptr;
+
+TEST_F(IntegrationTest, CorpusShapes) {
+  EXPECT_EQ(data_->dsample.size(), 20u);
+  EXPECT_EQ(data_->qdfw.size(), 20u);
+  EXPECT_EQ(data_->dsample.waveform_size(), 256u);
+  EXPECT_EQ(data_->qdfw.velocity_size(), 64u);
+}
+
+TEST_F(IntegrationTest, VqcLearnsInversionOnQdFw) {
+  ExperimentSpec spec;
+  spec.dataset = "Q-D-FW";
+  spec.decoder = DecoderKind::kLayer;
+  spec.blocks = 6;  // reduced depth for test speed
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.initial_lr = 0.1;
+  const ExperimentResult r = run_vqc_experiment(*data_, spec, tc);
+
+  // The model must do clearly better than an untrained one and reach a
+  // positive SSIM on flat-layer maps (at this miniature scale — 15 train
+  // samples, 6 blocks — absolute SSIM is far below the paper's 0.9).
+  EXPECT_GT(r.train.final_ssim, 0.1);
+  EXPECT_LT(r.train.final_mse, r.train.curve.front().test_mse);
+  EXPECT_LT(r.train.final_mse, 0.2);
+  EXPECT_LT(r.train.curve.back().train_loss, r.train.curve.front().train_loss);
+}
+
+TEST_F(IntegrationTest, LayerDecoderBeatsPixelOnFlatGeology) {
+  // The paper's central VQC-design claim (Fig. 8) at miniature scale.
+  TrainConfig tc;
+  tc.epochs = 30;
+  ExperimentSpec ly, px;
+  ly.dataset = px.dataset = "Q-D-FW";
+  ly.decoder = DecoderKind::kLayer;
+  px.decoder = DecoderKind::kPixel;
+  ly.blocks = px.blocks = 6;
+  const ExperimentResult r_ly = run_vqc_experiment(*data_, ly, tc);
+  const ExperimentResult r_px = run_vqc_experiment(*data_, px, tc);
+  EXPECT_GT(r_ly.train.final_ssim, r_px.train.final_ssim - 0.05);
+}
+
+TEST_F(IntegrationTest, QuBatchMatchesUnbatchedClosely) {
+  // Table 1's claim at miniature scale: batching trains with only slight
+  // degradation.
+  TrainConfig tc;
+  tc.epochs = 30;
+  ExperimentSpec plain, batched;
+  plain.dataset = batched.dataset = "Q-D-FW";
+  plain.blocks = batched.blocks = 6;
+  batched.batch_log2 = 1;
+  const ExperimentResult r0 = run_vqc_experiment(*data_, plain, tc);
+  const ExperimentResult r2 = run_vqc_experiment(*data_, batched, tc);
+  EXPECT_GT(r2.train.final_ssim, r0.train.final_ssim - 0.15);
+}
+
+TEST_F(IntegrationTest, ClassicalBaselineRuns) {
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.initial_lr = 0.02;
+  const ExperimentResult r =
+      run_classical_experiment(*data_, "Q-D-FW", DecoderKind::kLayer, tc);
+  EXPECT_EQ(r.model_name, "CNN-LY");
+  EXPECT_GT(r.train.final_ssim, 0.0);
+  EXPECT_LT(r.train.curve.back().train_loss, r.train.curve.front().train_loss);
+}
+
+TEST_F(IntegrationTest, SelectDatasetByName) {
+  EXPECT_EQ(&select_dataset(*data_, "D-Sample"), &data_->dsample);
+  EXPECT_EQ(&select_dataset(*data_, "Q-D-FW"), &data_->qdfw);
+  EXPECT_THROW((void)select_dataset(*data_, "bogus"), std::invalid_argument);
+}
+
+TEST_F(IntegrationTest, ModelNames) {
+  EXPECT_EQ(vqc_model_name(DecoderKind::kPixel), "Q-M-PX");
+  EXPECT_EQ(vqc_model_name(DecoderKind::kLayer), "Q-M-LY");
+}
+
+}  // namespace
+}  // namespace qugeo::core

@@ -1,0 +1,77 @@
+// Numeric helper properties.
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+
+namespace qugeo {
+namespace {
+
+TEST(MathUtils, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(255));
+}
+
+TEST(MathUtils, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+}
+
+TEST(MathUtils, Log2Exact) {
+  EXPECT_EQ(log2_exact(8), 3u);
+  EXPECT_EQ(log2_exact(256), 8u);
+  EXPECT_THROW((void)log2_exact(6), std::invalid_argument);
+  EXPECT_THROW((void)log2_exact(0), std::invalid_argument);
+}
+
+TEST(MathUtils, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(next_pow2(9), 16u);
+}
+
+TEST(MathUtils, L2NormAndNormalize) {
+  std::vector<Real> v = {3, 4};
+  EXPECT_NEAR(l2_norm(v), 5.0, 1e-12);
+  const Real n = normalize_l2(v);
+  EXPECT_NEAR(n, 5.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+TEST(MathUtils, NormalizeZeroVector) {
+  std::vector<Real> v = {0, 0, 0, 0};
+  const Real n = normalize_l2(v);
+  EXPECT_EQ(n, 0.0);
+  EXPECT_EQ(v[0], 1.0);  // canonical fallback direction
+  EXPECT_EQ(v[1], 0.0);
+}
+
+TEST(MathUtils, MeanOfSpan) {
+  const std::vector<Real> v = {1, 2, 3, 4};
+  EXPECT_NEAR(mean(v), 2.5, 1e-12);
+  EXPECT_EQ(mean(std::span<const Real>{}), 0.0);
+}
+
+TEST(MathUtils, ClampAndLerp) {
+  EXPECT_EQ(clamp(5, 0, 3), 3);
+  EXPECT_EQ(clamp(-1, 0, 3), 0);
+  EXPECT_EQ(clamp(2, 0, 3), 2);
+  EXPECT_NEAR(lerp(2.0, 4.0, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(lerp(2.0, 4.0, 0.0), 2.0, 1e-12);
+}
+
+TEST(MathUtils, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(1e8, 1e8 * (1 + 1e-8)));
+}
+
+}  // namespace
+}  // namespace qugeo

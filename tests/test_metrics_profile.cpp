@@ -1,0 +1,92 @@
+// Interface detection and scoring (Figures 7b / 9b machinery).
+#include <gtest/gtest.h>
+
+#include "metrics/profile_analysis.h"
+
+namespace qugeo::metrics {
+namespace {
+
+TEST(DetectInterfaces, FindsSingleJump) {
+  const std::vector<Real> prof = {1, 1, 1, 3, 3, 3};
+  const auto ifs = detect_interfaces(prof, 0.5);
+  ASSERT_EQ(ifs.size(), 1u);
+  EXPECT_EQ(ifs[0].row, 2u);
+  EXPECT_EQ(ifs[0].direction, 1);
+  EXPECT_NEAR(ifs[0].jump, 2.0, 1e-12);
+}
+
+TEST(DetectInterfaces, DirectionSigns) {
+  const std::vector<Real> prof = {2, 2, 4, 4, 1, 1};
+  const auto ifs = detect_interfaces(prof, 0.5);
+  ASSERT_EQ(ifs.size(), 2u);
+  EXPECT_EQ(ifs[0].direction, 1);
+  EXPECT_EQ(ifs[1].direction, -1);
+}
+
+TEST(DetectInterfaces, ThresholdFilters) {
+  // Non-contiguous small jumps so merging does not apply.
+  const std::vector<Real> prof = {1.0, 1.1, 1.1, 1.2, 1.2, 3.0};
+  EXPECT_EQ(detect_interfaces(prof, 0.5).size(), 1u);
+  EXPECT_EQ(detect_interfaces(prof, 0.05).size(), 3u);
+}
+
+TEST(DetectInterfaces, MergesContiguousRamp) {
+  // A smeared interface (ramp over adjacent rows in the same direction)
+  // counts once, at the steepest step.
+  const std::vector<Real> prof = {1, 1, 2, 4, 4.5, 4.5};
+  const auto ifs = detect_interfaces(prof, 0.4);
+  ASSERT_EQ(ifs.size(), 1u);
+  EXPECT_EQ(ifs[0].row, 2u);  // the 2 -> 4 step is steepest
+  EXPECT_NEAR(ifs[0].jump, 2.0, 1e-12);
+}
+
+TEST(DetectInterfaces, EmptyAndFlat) {
+  EXPECT_TRUE(detect_interfaces({}, 0.1).empty());
+  const std::vector<Real> flat = {2, 2, 2, 2};
+  EXPECT_TRUE(detect_interfaces(flat, 0.1).empty());
+}
+
+TEST(ScoreInterfaces, ExactMatch) {
+  const std::vector<Interface> truth = {{3, 1, 1.0}, {8, -1, -0.5}};
+  const std::vector<Interface> pred = {{3, 1, 0.9}, {8, -1, -0.4}};
+  const auto s = score_interfaces(truth, pred, 1);
+  EXPECT_EQ(s.total_true, 2u);
+  EXPECT_EQ(s.matched, 2u);
+  EXPECT_EQ(s.ordering_correct, 2u);
+}
+
+TEST(ScoreInterfaces, ToleranceWindow) {
+  const std::vector<Interface> truth = {{5, 1, 1.0}};
+  const std::vector<Interface> near = {{6, 1, 1.0}};
+  const std::vector<Interface> far = {{9, 1, 1.0}};
+  EXPECT_EQ(score_interfaces(truth, near, 1).matched, 1u);
+  EXPECT_EQ(score_interfaces(truth, far, 1).matched, 0u);
+}
+
+TEST(ScoreInterfaces, WrongDirectionCountsAsMatchedNotOrdered) {
+  // The paper's Fig. 9b: interfaces found but relative layer ordering wrong
+  // (points C, D, E for D-Sample + Q-M-LY).
+  const std::vector<Interface> truth = {{4, 1, 1.0}};
+  const std::vector<Interface> pred = {{4, -1, -1.0}};
+  const auto s = score_interfaces(truth, pred, 1);
+  EXPECT_EQ(s.matched, 1u);
+  EXPECT_EQ(s.ordering_correct, 0u);
+}
+
+TEST(ScoreInterfaces, OneToOneMatching) {
+  // A single prediction cannot satisfy two true interfaces.
+  const std::vector<Interface> truth = {{4, 1, 1.0}, {5, 1, 1.0}};
+  const std::vector<Interface> pred = {{4, 1, 1.0}};
+  const auto s = score_interfaces(truth, pred, 2);
+  EXPECT_EQ(s.matched, 1u);
+}
+
+TEST(ScoreInterfaces, EmptyCases) {
+  const std::vector<Interface> some = {{4, 1, 1.0}};
+  EXPECT_EQ(score_interfaces({}, some, 1).matched, 0u);
+  EXPECT_EQ(score_interfaces(some, {}, 1).matched, 0u);
+  EXPECT_EQ(score_interfaces(some, {}, 1).total_true, 1u);
+}
+
+}  // namespace
+}  // namespace qugeo::metrics

@@ -1,0 +1,236 @@
+// Layer forward/backward: every layer's parameter and input gradients are
+// checked against central finite differences on random data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace qugeo::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t.data_mut(), -1, 1);
+  return t;
+}
+
+/// Scalar loss = sum of elementwise products with fixed random weights;
+/// gives a dense, nontrivial gradient at the output.
+struct ProbeLoss {
+  Tensor weights;
+
+  explicit ProbeLoss(const Tensor& like, Rng& rng) : weights(like.shape()) {
+    rng.fill_uniform(weights.data_mut(), -1, 1);
+  }
+  Real value(const Tensor& y) const {
+    Real s = 0;
+    for (std::size_t i = 0; i < y.numel(); ++i) s += weights[i] * y[i];
+    return s;
+  }
+  Tensor grad() const { return weights; }
+};
+
+/// Check dL/d(input) and dL/d(params) of `layer` against finite differences.
+void grad_check(Layer& layer, Tensor input, Real tol = 1e-5) {
+  Rng rng(777);
+  Tensor out = layer.forward(input);
+  ProbeLoss loss(out, rng);
+
+  for (Param* p : layer.params()) p->grad.zero();
+  const Tensor din = layer.backward(loss.grad());
+
+  const Real eps = 1e-5;
+  // Input gradient.
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    Tensor plus = input, minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const Real fd =
+        (loss.value(layer.forward(plus)) - loss.value(layer.forward(minus))) /
+        (2 * eps);
+    ASSERT_NEAR(din[i], fd, tol) << "input grad " << i;
+  }
+  // Parameter gradients (layer caches from the last forward; rerun first).
+  (void)layer.forward(input);
+  for (Param* p : layer.params()) p->grad.zero();
+  (void)layer.backward(loss.grad());
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->numel(); ++i) {
+      const Real saved = p->value[i];
+      p->value[i] = saved + eps;
+      const Real lp = loss.value(layer.forward(input));
+      p->value[i] = saved - eps;
+      const Real lm = loss.value(layer.forward(input));
+      p->value[i] = saved;
+      ASSERT_NEAR(p->grad[i], (lp - lm) / (2 * eps), tol) << "param grad " << i;
+    }
+  }
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor y = conv.forward(random_tensor({2, 2, 8, 8}, rng));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3, 8, 8}));
+}
+
+TEST(Conv2d, StrideAndNoPadding) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 3, 2, 0, rng);
+  const Tensor y = conv.forward(random_tensor({1, 1, 9, 9}, rng));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 4, 4}));
+}
+
+TEST(Conv2d, KnownConvolutionValue) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 2, 1, 0, rng);
+  // Set kernel to all ones, bias to zero: output = window sums.
+  conv.params()[0]->value.fill(1.0);
+  conv.params()[1]->value.fill(0.0);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_NEAR(y[0], 10.0, 1e-12);
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(4);
+  Conv2d conv(2, 2, 3, 1, 1, rng);
+  grad_check(conv, random_tensor({1, 2, 5, 5}, rng));
+}
+
+TEST(Conv2d, GradCheckStridedUnpadded) {
+  Rng rng(5);
+  Conv2d conv(1, 2, 3, 2, 0, rng);
+  grad_check(conv, random_tensor({1, 1, 7, 7}, rng));
+}
+
+TEST(Linear, KnownProduct) {
+  Rng rng(6);
+  Linear lin(2, 1, rng);
+  lin.params()[0]->value = Tensor({1, 2}, {2, 3});
+  lin.params()[1]->value = Tensor({1}, {1});
+  const Tensor y = lin.forward(Tensor({1, 2}, {10, 20}));
+  EXPECT_NEAR(y[0], 2 * 10 + 3 * 20 + 1, 1e-12);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(7);
+  Linear lin(6, 4, rng);
+  grad_check(lin, random_tensor({3, 6}, rng));
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor y = relu.forward(Tensor({4}, {-1, 0, 2, -3}));
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[2], 2.0);
+}
+
+TEST(ReLU, GradCheck) {
+  Rng rng(8);
+  ReLU relu;
+  // Keep values away from the kink for a clean finite-difference check.
+  Tensor x = random_tensor({2, 5}, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x[i]) < 0.1) x[i] = 0.5;
+  grad_check(relu, x);
+}
+
+TEST(Sigmoid, RangeAndMidpoint) {
+  Sigmoid s;
+  const Tensor y = s.forward(Tensor({3}, {-100, 0, 100}));
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[2], 1.0, 1e-12);
+}
+
+TEST(Sigmoid, GradCheck) {
+  Rng rng(9);
+  Sigmoid s;
+  grad_check(s, random_tensor({2, 4}, rng));
+}
+
+TEST(MaxPool2d, SelectsWindowMax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_EQ(y[0], 5.0);
+}
+
+TEST(MaxPool2d, GradRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  (void)pool.forward(x);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, {2.0}));
+  EXPECT_EQ(g[0], 0.0);
+  EXPECT_EQ(g[1], 2.0);  // the max position
+  EXPECT_EQ(g[2], 0.0);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  Rng rng(10);
+  MaxPool2d pool(2);
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<Real>(i % 7) + 0.01 * static_cast<Real>(i);
+  grad_check(pool, x);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Rng rng(11);
+  const Tensor x = random_tensor({2, 3, 2, 2}, rng);
+  const Tensor y = f.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 12}));
+  const Tensor g = f.backward(y);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Sequential, ChainsAndCountsParams) {
+  Rng rng(12);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(2 * 2 * 2, 3, rng);
+  const Tensor y = net.forward(random_tensor({1, 1, 4, 4}, rng));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(net.param_count(), 2u * (9 + 1) + (8u * 3 + 3));
+}
+
+TEST(Sequential, GradCheckEndToEnd) {
+  Rng rng(13);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  net.emplace<Sigmoid>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(2 * 4 * 4, 3, rng);
+  grad_check(net, random_tensor({1, 1, 4, 4}, rng), 2e-5);
+}
+
+TEST(Loss, MseValueAndGrad) {
+  const Tensor pred({3}, {1, 2, 3});
+  const Tensor target({3}, {1, 1, 1});
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_NEAR(r.value, (0 + 1 + 4) / 3.0, 1e-12);
+  EXPECT_NEAR(r.grad[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Loss, SseValueAndGrad) {
+  const Tensor pred({2}, {2, -1});
+  const Tensor target({2}, {0, 0});
+  const LossResult r = sse_loss(pred, target);
+  EXPECT_NEAR(r.value, 5.0, 1e-12);
+  EXPECT_NEAR(r.grad[0], 4.0, 1e-12);
+  EXPECT_NEAR(r.grad[1], -2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qugeo::nn

@@ -1,0 +1,157 @@
+// Algebraic gate identities, verified end-to-end on the simulator — a
+// property-style sweep that guards the gate library and the state-vector
+// kernels simultaneously.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qsim/encoding.h"
+#include "qsim/executor.h"
+
+namespace qugeo::qsim {
+namespace {
+
+StateVector random_state(Index qubits, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector psi(qubits);
+  std::vector<Real> data(psi.dim());
+  rng.fill_uniform(data, -1, 1);
+  encode_amplitudes(data, psi);
+  return psi;
+}
+
+/// Two circuits are equal as channels if they agree on a random state.
+void expect_same_action(const Circuit& a, const Circuit& b, std::uint64_t seed) {
+  StateVector sa = random_state(a.num_qubits(), seed);
+  StateVector sb = sa;
+  run_circuit(a, {}, sa);
+  run_circuit(b, {}, sb);
+  EXPECT_NEAR(sa.fidelity(sb), 1.0, 1e-12);
+}
+
+TEST(GateIdentity, HZHEqualsX) {
+  Circuit lhs(1), rhs(1);
+  lhs.h(0);
+  lhs.z(0);
+  lhs.h(0);
+  rhs.x(0);
+  expect_same_action(lhs, rhs, 1);
+}
+
+TEST(GateIdentity, HXHEqualsZ) {
+  Circuit lhs(1), rhs(1);
+  lhs.h(0);
+  lhs.x(0);
+  lhs.h(0);
+  rhs.z(0);
+  expect_same_action(lhs, rhs, 2);
+}
+
+TEST(GateIdentity, SSEqualsZ) {
+  Circuit lhs(1), rhs(1);
+  lhs.s(0);
+  lhs.s(0);
+  rhs.z(0);
+  expect_same_action(lhs, rhs, 3);
+}
+
+TEST(GateIdentity, TTEqualsS) {
+  Circuit lhs(1), rhs(1);
+  lhs.t(0);
+  lhs.t(0);
+  rhs.s(0);
+  expect_same_action(lhs, rhs, 4);
+}
+
+TEST(GateIdentity, SdgUndoesS) {
+  Circuit lhs(1), rhs(1);
+  lhs.s(0);
+  lhs.sdg(0);
+  expect_same_action(lhs, rhs, 5);
+}
+
+TEST(GateIdentity, SwapEqualsThreeCnots) {
+  Circuit lhs(2), rhs(2);
+  lhs.swap(0, 1);
+  rhs.cx(0, 1);
+  rhs.cx(1, 0);
+  rhs.cx(0, 1);
+  expect_same_action(lhs, rhs, 6);
+}
+
+TEST(GateIdentity, CZIsSymmetric) {
+  Circuit lhs(2), rhs(2);
+  lhs.cz(0, 1);
+  rhs.cz(1, 0);
+  expect_same_action(lhs, rhs, 7);
+}
+
+TEST(GateIdentity, CZFromHadamardConjugatedCX) {
+  Circuit lhs(2), rhs(2);
+  lhs.cz(0, 1);
+  rhs.h(1);
+  rhs.cx(0, 1);
+  rhs.h(1);
+  expect_same_action(lhs, rhs, 8);
+}
+
+class RotationComposition : public ::testing::TestWithParam<Real> {};
+
+TEST_P(RotationComposition, AnglesAddForEachAxis) {
+  const Real a = GetParam();
+  const Real b = 0.77;
+  for (auto axis : {GateKind::kRX, GateKind::kRY, GateKind::kRZ}) {
+    Circuit lhs(1), rhs(1);
+    auto add = [&](Circuit& c, Real angle) {
+      switch (axis) {
+        case GateKind::kRX: c.rx(0, angle); break;
+        case GateKind::kRY: c.ry(0, angle); break;
+        default: c.rz(0, angle); break;
+      }
+    };
+    add(lhs, a);
+    add(lhs, b);
+    add(rhs, a + b);
+    expect_same_action(lhs, rhs, 10 + static_cast<std::uint64_t>(axis));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationComposition,
+                         ::testing::Values(-2.1, -0.5, 0.0, 0.9, 3.3));
+
+TEST(GateIdentity, U3CoversRY) {
+  // u3(theta, 0, 0) == ry(theta).
+  Circuit lhs(1), rhs(1);
+  lhs.u3(0, 1.234, 0.0, 0.0);
+  rhs.ry(0, 1.234);
+  expect_same_action(lhs, rhs, 20);
+}
+
+TEST(GateIdentity, ControlledGateOnControlZeroSubspace) {
+  // Starting from |00> and never touching qubit 0, the control stays |0>
+  // and CU3 must act as the identity.
+  Circuit lhs(2), rhs(2);
+  lhs.ry(1, 0.6);
+  rhs.ry(1, 0.6);
+  lhs.cu3(0, 1, 1.1, 0.2, -0.7);
+  StateVector sa(2), sb(2);
+  run_circuit(lhs, {}, sa);
+  run_circuit(rhs, {}, sb);
+  EXPECT_NEAR(sa.fidelity(sb), 1.0, 1e-12);
+}
+
+TEST(GateIdentity, EntanglementMonotoneSanity) {
+  // H + CX produce maximal 2-qubit entanglement: the reduced marginal of a
+  // Bell pair is uniform.
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  StateVector psi(2);
+  run_circuit(c, {}, psi);
+  const Index qubits[] = {0};
+  const auto m = psi.marginal_probabilities(qubits);
+  EXPECT_NEAR(m[0], 0.5, 1e-12);
+  EXPECT_NEAR(m[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace qugeo::qsim

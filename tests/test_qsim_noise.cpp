@@ -1,0 +1,75 @@
+// Depolarizing-trajectory executor: zero noise reduces to exact execution;
+// strong noise contracts <Z> toward zero; determinism under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qsim/executor.h"
+#include "qsim/noise.h"
+
+namespace qugeo::qsim {
+namespace {
+
+Circuit small_circuit() {
+  Circuit c(2);
+  c.h(0);
+  c.ry(1, 0.4);
+  c.cx(0, 1);
+  c.ry(0, 1.1);
+  return c;
+}
+
+TEST(Noise, ZeroProbabilityMatchesExact) {
+  const Circuit c = small_circuit();
+  StateVector exact(2), noisy(2);
+  run_circuit(c, {}, exact);
+  Rng rng(1);
+  run_circuit_noisy(c, {}, noisy, NoiseModel{0.0}, rng);
+  EXPECT_NEAR(noisy.fidelity(exact), 1.0, 1e-12);
+}
+
+TEST(Noise, TrajectoriesStayNormalized) {
+  const Circuit c = small_circuit();
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    StateVector psi(2);
+    run_circuit_noisy(c, {}, psi, NoiseModel{0.3}, rng);
+    EXPECT_NEAR(psi.norm_sq(), 1.0, 1e-10);
+  }
+}
+
+TEST(Noise, DepolarizingContractsZ) {
+  // Identity circuit on |0>: noiseless <Z> = 1; heavy depolarizing noise
+  // pulls the trajectory average toward 0.
+  Circuit c(1);
+  for (int i = 0; i < 10; ++i) c.rz(0, 0.0);  // 10 noise insertion points
+  StateVector psi0(1);
+  Rng rng(3);
+  const std::vector<Index> qubits = {0};
+  const auto z = noisy_expect_z(c, {}, psi0, qubits, NoiseModel{0.2}, rng, 400);
+  EXPECT_LT(std::abs(z[0]), 0.6);
+  EXPECT_GT(z[0], -0.3);
+}
+
+TEST(Noise, SeedDeterminism) {
+  const Circuit c = small_circuit();
+  StateVector a(2), b(2);
+  Rng r1(42), r2(42);
+  run_circuit_noisy(c, {}, a, NoiseModel{0.25}, r1);
+  run_circuit_noisy(c, {}, b, NoiseModel{0.25}, r2);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+TEST(Noise, MildNoiseDegradesGracefully) {
+  const Circuit c = small_circuit();
+  StateVector exact(2);
+  run_circuit(c, {}, exact);
+  Rng rng(5);
+  const std::vector<Index> qubits = {0, 1};
+  const auto z_mild =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.01}, rng, 600);
+  EXPECT_NEAR(z_mild[0], exact.expect_z(0), 0.15);
+  EXPECT_NEAR(z_mild[1], exact.expect_z(1), 0.15);
+}
+
+}  // namespace
+}  // namespace qugeo::qsim

@@ -1,0 +1,52 @@
+// QASM export: header, gate mnemonics, resolved parameters.
+#include <gtest/gtest.h>
+
+#include "qsim/qasm.h"
+
+namespace qugeo::qsim {
+namespace {
+
+TEST(Qasm, EmitsHeaderAndRegister) {
+  Circuit c(3);
+  const std::string q = to_qasm(c, {});
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+}
+
+TEST(Qasm, EmitsFixedGates) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.swap(0, 1);
+  const std::string q = to_qasm(c, {});
+  EXPECT_NE(q.find("h q[0];"), std::string::npos);
+  EXPECT_NE(q.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(q.find("swap q[0],q[1];"), std::string::npos);
+}
+
+TEST(Qasm, ResolvesTrainableAngles) {
+  Circuit c(1);
+  c.ry(0, c.new_param());
+  const std::vector<Real> params = {1.25};
+  const std::string q = to_qasm(c, params);
+  EXPECT_NE(q.find("ry(1.25) q[0];"), std::string::npos);
+}
+
+TEST(Qasm, EmitsU3WithThreeAngles) {
+  Circuit c(1);
+  c.u3(0, 0.5, 1.0, 1.5);
+  const std::string q = to_qasm(c, {});
+  EXPECT_NE(q.find("u3(0.5,1,1.5) q[0];"), std::string::npos);
+}
+
+TEST(Qasm, LineCountMatchesOps) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const std::string q = to_qasm(c, {});
+  const auto lines = std::count(q.begin(), q.end(), '\n');
+  EXPECT_EQ(lines, 3 + 2);  // header(2) + qreg + 2 ops
+}
+
+}  // namespace
+}  // namespace qugeo::qsim

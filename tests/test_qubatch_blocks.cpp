@@ -1,0 +1,133 @@
+// QuBatch block semantics at larger batch sizes and with grouped encoders —
+// the structural invariants behind Table 1 and Figure 4(d)/(e).
+#include <gtest/gtest.h>
+
+#include "core/ansatz.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "qsim/executor.h"
+
+namespace qugeo::core {
+namespace {
+
+std::vector<std::vector<Real>> random_samples(std::size_t n, std::size_t size,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Real>> out(n, std::vector<Real>(size));
+  for (auto& s : out) rng.fill_uniform(s, -1, 1);
+  return out;
+}
+
+/// Decode each sample alone on the unbatched layout.
+std::vector<std::vector<Real>> solo_predictions(
+    const std::vector<std::vector<Real>>& samples,
+    std::span<const Real> params, std::size_t data_qubits, std::size_t rows,
+    std::size_t cols) {
+  const QubitLayout plain({data_qubits}, 0);
+  AnsatzConfig acfg;
+  acfg.blocks = 2;
+  const qsim::Circuit c = build_qugeo_ansatz(plain, acfg);
+  const StEncoder enc(plain);
+  const LayerDecoder dec(plain, plain.data_qubits(), rows, cols);
+  std::vector<std::vector<Real>> out;
+  for (const auto& s : samples) {
+    qsim::StateVector psi = enc.encode_single(s);
+    qsim::run_circuit(c, params, psi);
+    out.push_back(dec.decode(psi).predictions[0]);
+  }
+  return out;
+}
+
+class BatchSize : public ::testing::TestWithParam<Index> {};
+
+TEST_P(BatchSize, EveryBlockMatchesSoloRun) {
+  const Index blog = GetParam();
+  const std::size_t data_qubits = 3, rows = 3, cols = 2;
+  const QubitLayout lay({data_qubits}, blog);
+  AnsatzConfig acfg;
+  acfg.blocks = 2;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, acfg);
+  std::vector<Real> params(c.num_params());
+  Rng rng(100 + blog);
+  rng.fill_uniform(params, -1.5, 1.5);
+
+  const auto samples = random_samples(lay.batch_size(), 8, 200 + blog);
+  const auto solo = solo_predictions(samples, params, data_qubits, rows, cols);
+
+  const StEncoder enc(lay);
+  const LayerDecoder dec(lay, {0, 1, 2}, rows, cols);
+  std::vector<const std::vector<Real>*> batch;
+  for (const auto& s : samples) batch.push_back(&s);
+  qsim::StateVector psi = enc.encode(batch);
+  qsim::run_circuit(c, params, psi);
+  const DecodeResult r = dec.decode(psi);
+
+  ASSERT_EQ(r.predictions.size(), lay.batch_size());
+  for (std::size_t b = 0; b < lay.batch_size(); ++b)
+    for (std::size_t k = 0; k < rows * cols; ++k)
+      EXPECT_NEAR(r.predictions[b][k], solo[b][k], 1e-9)
+          << "block " << b << " pixel " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSize,
+                         ::testing::Values(Index{1}, Index{2}, Index{3}));
+
+TEST(QuBatchBlocks, BlockProbabilitiesTrackSampleEnergies) {
+  // The joint normalization assigns each block a probability proportional
+  // to its sample's squared norm.
+  const QubitLayout lay({2}, 1);
+  const StEncoder enc(lay);
+  const std::vector<Real> weak = {0.1, 0.1, 0.1, 0.1};   // ||.||^2 = 0.04
+  const std::vector<Real> strong = {1, 1, 1, 1};         // ||.||^2 = 4
+  const std::vector<Real>* batch[] = {&weak, &strong};
+  const qsim::StateVector psi = enc.encode(batch);
+  const LayerDecoder dec(lay, {0, 1}, 2, 2);
+  const DecodeResult r = dec.decode(psi);
+  EXPECT_NEAR(r.block_prob[0], 0.04 / 4.04, 1e-12);
+  EXPECT_NEAR(r.block_prob[1], 4.0 / 4.04, 1e-12);
+}
+
+TEST(QuBatchBlocks, GroupedBatchDiagonalBlocksOnly) {
+  // 2 groups + 1 batch qubit each: only basis states whose two batch bits
+  // agree contribute to decoded blocks; cross terms are excluded.
+  const QubitLayout lay({1, 1}, 1);
+  Real mass = 0;
+  for (Index k = 0; k < (Index{1} << lay.total_qubits()); ++k)
+    if (lay.block_of(k) == QubitLayout::kInvalidBlock) ++mass;
+  EXPECT_EQ(mass, 8);  // half of the 16 basis states are off-diagonal
+}
+
+TEST(QuBatchBlocks, PixelDecoderBatchedBlocksMatchSolo) {
+  const QubitLayout lay({3}, 1);
+  AnsatzConfig acfg;
+  acfg.blocks = 2;
+  const qsim::Circuit c = build_qugeo_ansatz(lay, acfg);
+  std::vector<Real> params(c.num_params());
+  Rng rng(42);
+  rng.fill_uniform(params, -1, 1);
+  const auto samples = random_samples(2, 8, 43);
+
+  const QubitLayout plain({3}, 0);
+  const qsim::Circuit cp = build_qugeo_ansatz(plain, acfg);
+  const StEncoder enc_p(plain);
+  const PixelDecoder dec_p(plain, {0, 1}, 2, 2, 1.5);
+  std::vector<std::vector<Real>> solo;
+  for (const auto& s : samples) {
+    qsim::StateVector psi = enc_p.encode_single(s);
+    qsim::run_circuit(cp, params, psi);
+    solo.push_back(dec_p.decode(psi).predictions[0]);
+  }
+
+  const StEncoder enc(lay);
+  const PixelDecoder dec(lay, {0, 1}, 2, 2, 1.5);
+  std::vector<const std::vector<Real>*> batch = {&samples[0], &samples[1]};
+  qsim::StateVector psi = enc.encode(batch);
+  qsim::run_circuit(c, params, psi);
+  const DecodeResult r = dec.decode(psi);
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t k = 0; k < 4; ++k)
+      EXPECT_NEAR(r.predictions[b][k], solo[b][k], 1e-9);
+}
+
+}  // namespace
+}  // namespace qugeo::core

@@ -1,0 +1,130 @@
+// Forward-modelling drivers: acquisition shapes, survey geometry, the
+// physics-guided remodel path used by Q-D-FW.
+#include <gtest/gtest.h>
+
+#include "seismic/forward_modeling.h"
+
+namespace qugeo::seismic {
+namespace {
+
+TEST(Survey, ReceiverLineSpreadsEvenly) {
+  const ReceiverLine line = make_receiver_line(70, 8);
+  ASSERT_EQ(line.count(), 8u);
+  EXPECT_EQ(line.ix.front(), 0u);
+  EXPECT_EQ(line.ix.back(), 69u);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_GT(line.ix[i], line.ix[i - 1]);
+}
+
+TEST(Survey, SingleReceiverCentered) {
+  const ReceiverLine line = make_receiver_line(70, 1);
+  EXPECT_EQ(line.ix[0], 35u);
+}
+
+TEST(Survey, SourceLineValidation) {
+  EXPECT_THROW((void)make_source_line(10, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_source_line(10, 11), std::invalid_argument);
+}
+
+TEST(Survey, SeismicDataLayoutIsSourceMajor) {
+  SeismicData d(2, 3, 4);
+  d.at(1, 2, 3) = 7.0;
+  EXPECT_EQ(d.data()[(1 * 3 + 2) * 4 + 3], 7.0);
+  const auto shot1 = d.shot_span(1);
+  EXPECT_EQ(shot1.size(), 12u);
+  EXPECT_EQ(shot1[2 * 4 + 3], 7.0);
+}
+
+TEST(Survey, SetShotValidatesShape) {
+  SeismicData d(2, 3, 4);
+  EXPECT_THROW(d.set_shot(0, ShotGather(3, 5)), std::invalid_argument);
+  EXPECT_THROW((void)d.shot_span(2), std::out_of_range);
+}
+
+TEST(Acquisition, OpenFwiShape) {
+  const Acquisition acq = openfwi_acquisition();
+  EXPECT_EQ(acq.num_sources, 5u);
+  EXPECT_EQ(acq.num_receivers, 70u);
+  EXPECT_EQ(acq.num_time_samples, 1000u);
+  EXPECT_EQ(acq.wavelet_freq_hz, 15.0);
+}
+
+TEST(Acquisition, QuantumShapeIs256Values) {
+  const Acquisition acq = quantum_acquisition();
+  EXPECT_EQ(acq.num_sources * acq.num_time_samples * acq.num_receivers, 256u);
+  EXPECT_EQ(acq.wavelet_freq_hz, 8.0);  // the 15 -> 8 Hz adjustment
+}
+
+TEST(ModelShots, ProducesRequestedVolume) {
+  Rng rng(4);
+  FlatVelConfig vcfg;
+  vcfg.nz = 30;
+  vcfg.nx = 30;
+  const VelocityModel m = generate_flatvel(vcfg, rng);
+  Acquisition acq;
+  acq.num_sources = 3;
+  acq.num_receivers = 10;
+  acq.num_time_samples = 50;
+  acq.wavelet_freq_hz = 12.0;
+  const SeismicData d = model_shots(m, acq);
+  EXPECT_EQ(d.nsrc(), 3u);
+  EXPECT_EQ(d.nt(), 50u);
+  EXPECT_EQ(d.nrec(), 10u);
+  // The field must actually be non-trivial.
+  Real peak = 0;
+  for (Real v : d.data()) peak = std::max(peak, std::abs(v));
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(ModelShots, DifferentSourcesProduceDifferentShots) {
+  Rng rng(5);
+  FlatVelConfig vcfg;
+  vcfg.nz = 30;
+  vcfg.nx = 30;
+  const VelocityModel m = generate_flatvel(vcfg, rng);
+  Acquisition acq;
+  acq.num_sources = 2;
+  acq.num_receivers = 6;
+  acq.num_time_samples = 64;
+  const SeismicData d = model_shots(m, acq);
+  Real diff = 0;
+  for (std::size_t t = 0; t < d.nt(); ++t)
+    for (std::size_t r = 0; r < d.nrec(); ++r)
+      diff += std::abs(d.at(0, t, r) - d.at(1, t, r));
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(PhysicsRemodel, ProducesQuantumScaleData) {
+  Rng rng(6);
+  const VelocityModel m = generate_flatvel(FlatVelConfig{}, rng);
+  const Acquisition acq = quantum_acquisition();
+  const SeismicData d = physics_guided_remodel(m, 8, 8, acq, 8);
+  EXPECT_EQ(d.size(), 256u);
+  Real peak = 0;
+  for (Real v : d.data()) peak = std::max(peak, std::abs(v));
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(PhysicsRemodel, SensitiveToVelocityModel) {
+  // Different subsurfaces must give different quantum-scale gathers —
+  // otherwise the learning task would be vacuous.
+  Rng rng(7);
+  const VelocityModel m1 = generate_flatvel(FlatVelConfig{}, rng);
+  const VelocityModel m2 = generate_flatvel(FlatVelConfig{}, rng);
+  const Acquisition acq = quantum_acquisition();
+  const SeismicData d1 = physics_guided_remodel(m1, 8, 8, acq);
+  const SeismicData d2 = physics_guided_remodel(m2, 8, 8, acq);
+  Real diff = 0;
+  for (std::size_t k = 0; k < d1.size(); ++k)
+    diff += std::abs(d1.data()[k] - d2.data()[k]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(PhysicsRemodel, RefineZeroRejected) {
+  Rng rng(8);
+  const VelocityModel m = generate_flatvel(FlatVelConfig{}, rng);
+  EXPECT_THROW((void)physics_guided_remodel(m, 8, 8, quantum_acquisition(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qugeo::seismic

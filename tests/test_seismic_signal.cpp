@@ -1,0 +1,124 @@
+// Trace signal processing: spectra, the 15 vs 8 Hz wavelet distinction,
+// bandpass behaviour, AGC equalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seismic/signal.h"
+#include "seismic/wavelet.h"
+
+namespace qugeo::seismic {
+namespace {
+
+std::vector<Real> tone(Real freq, Real dt, std::size_t n) {
+  std::vector<Real> x(n);
+  for (std::size_t t = 0; t < n; ++t)
+    x[t] = std::sin(2 * kPi * freq * static_cast<Real>(t) * dt);
+  return x;
+}
+
+TEST(Spectrum, PureToneDominantFrequency) {
+  const Real dt = 1e-3;
+  const auto x = tone(25.0, dt, 1000);
+  EXPECT_NEAR(dominant_frequency(x, dt), 25.0, 1.1);
+}
+
+TEST(Spectrum, RickerDominantFrequencyTracksPeak) {
+  // The Ricker spectral peak sits at the nominal peak frequency; verify for
+  // both wavelets QuGeoData uses.
+  const Real dt = 1e-3;
+  for (Real f : {15.0, 8.0}) {
+    const RickerWavelet w(f);
+    const auto trace = w.sample(1024, dt);
+    EXPECT_NEAR(dominant_frequency(trace, dt), f, 0.25 * f) << f;
+  }
+}
+
+TEST(Spectrum, LowerWaveletShiftsSpectrumDown) {
+  const Real dt = 1e-3;
+  const auto f15 = dominant_frequency(RickerWavelet(15.0).sample(1024, dt), dt);
+  const auto f8 = dominant_frequency(RickerWavelet(8.0).sample(1024, dt), dt);
+  EXPECT_LT(f8, f15);
+}
+
+TEST(Spectrum, EmptyTrace) {
+  EXPECT_TRUE(magnitude_spectrum({}).empty());
+}
+
+TEST(Bandpass, PassesInBandTone) {
+  // Low corners need a long filter: 301 taps spans ~6 periods of 20 Hz.
+  const Real dt = 1e-3;
+  const auto x = tone(20.0, dt, 600);
+  const auto y = bandpass(x, dt, 10.0, 30.0, 301);
+  // Compare mid-trace energy (edges are truncated).
+  Real ex = 0, ey = 0;
+  for (std::size_t t = 100; t < 500; ++t) {
+    ex += x[t] * x[t];
+    ey += y[t] * y[t];
+  }
+  EXPECT_GT(ey, 0.5 * ex);
+}
+
+TEST(Bandpass, RejectsOutOfBandTone) {
+  const Real dt = 1e-3;
+  const auto x = tone(120.0, dt, 600);
+  const auto y = bandpass(x, dt, 10.0, 30.0, 63);
+  Real ex = 0, ey = 0;
+  for (std::size_t t = 100; t < 500; ++t) {
+    ex += x[t] * x[t];
+    ey += y[t] * y[t];
+  }
+  EXPECT_LT(ey, 0.05 * ex);
+}
+
+TEST(Bandpass, SeparatesMixedTones) {
+  const Real dt = 1e-3;
+  const auto in_band = tone(20.0, dt, 800);
+  const auto out_band = tone(150.0, dt, 800);
+  std::vector<Real> mixed(800);
+  for (std::size_t t = 0; t < 800; ++t) mixed[t] = in_band[t] + out_band[t];
+  const auto y = bandpass(mixed, dt, 10.0, 40.0, 63);
+  EXPECT_NEAR(dominant_frequency(y, dt), 20.0, 2.0);
+}
+
+TEST(Bandpass, Validation) {
+  const std::vector<Real> x(100, 0.0);
+  EXPECT_THROW((void)bandpass(x, 1e-3, 10, 30, 30), std::invalid_argument);
+  EXPECT_THROW((void)bandpass(x, 1e-3, 30, 10), std::invalid_argument);
+  EXPECT_THROW((void)bandpass(x, 1e-3, 10, 900), std::invalid_argument);
+}
+
+TEST(Agc, EqualizesAmplitudeEnvelope) {
+  // A decaying tone: after AGC the late samples should be comparable in
+  // magnitude to the early ones.
+  const Real dt = 1e-3;
+  std::vector<Real> x = tone(20.0, dt, 1000);
+  for (std::size_t t = 0; t < x.size(); ++t)
+    x[t] *= std::exp(-static_cast<Real>(t) * 0.005);
+  const auto y = agc(x, 101);
+
+  auto window_peak = [&](const std::vector<Real>& v, std::size_t lo, std::size_t hi) {
+    Real p = 0;
+    for (std::size_t t = lo; t < hi; ++t) p = std::max(p, std::abs(v[t]));
+    return p;
+  };
+  const Real early_ratio = window_peak(x, 100, 200) / window_peak(x, 800, 900);
+  const Real agc_ratio = window_peak(y, 100, 200) / window_peak(y, 800, 900);
+  EXPECT_GT(early_ratio, 10.0);  // raw decay is strong
+  EXPECT_LT(agc_ratio, 3.0);     // AGC flattens it
+}
+
+TEST(Agc, Validation) {
+  const std::vector<Real> x(10, 1.0);
+  EXPECT_THROW((void)agc(x, 0), std::invalid_argument);
+  EXPECT_THROW((void)agc(x, 4), std::invalid_argument);
+}
+
+TEST(Agc, ZeroTraceStaysFinite) {
+  const std::vector<Real> x(50, 0.0);
+  const auto y = agc(x, 11);
+  for (Real v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace qugeo::seismic

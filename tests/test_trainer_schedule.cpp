@@ -1,0 +1,112 @@
+// Trainer gradient-accumulation variants and schedule interaction.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+
+namespace qugeo::core {
+namespace {
+
+data::ScaledDataset tiny_task(std::size_t n, Rng& rng) {
+  data::ScaledDataset ds;
+  ds.nsrc = 1;
+  ds.nt = 1;
+  ds.nrec = 8;
+  ds.vel_rows = 3;
+  ds.vel_cols = 2;
+  ds.samples.resize(n);
+  for (auto& s : ds.samples) {
+    s.waveform.resize(8);
+    rng.fill_uniform(s.waveform, -1, 1);
+    s.velocity.resize(6);
+    for (std::size_t r = 0; r < 3; ++r) {
+      const Real v = std::abs(s.waveform[r]) ;
+      for (std::size_t c = 0; c < 2; ++c) s.velocity[r * 2 + c] = v;
+    }
+  }
+  return ds;
+}
+
+ModelConfig tiny_model() {
+  ModelConfig mc;
+  mc.group_data_qubits = {3};
+  mc.ansatz.blocks = 2;
+  mc.decoder = DecoderKind::kLayer;
+  mc.vel_rows = 3;
+  mc.vel_cols = 2;
+  return mc;
+}
+
+class ChunksPerStep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunksPerStep, AllAccumulationGranularitiesLearn) {
+  Rng drng(1);
+  data::ScaledDataset ds = tiny_task(20, drng);
+  const data::SplitView split = data::split_dataset(20, 16);
+  Rng init(2);
+  QuGeoModel model(tiny_model(), init);
+  TrainConfig tc;
+  tc.epochs = 25;
+  tc.initial_lr = 0.05;
+  tc.chunks_per_step = GetParam();
+  const TrainResult r = train_model(model, ds, split, tc);
+  EXPECT_LT(r.curve.back().train_loss, r.curve.front().train_loss)
+      << "chunks_per_step=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, ChunksPerStep,
+                         ::testing::Values(0, 1, 4, 16, 1000));
+
+TEST(TrainerSchedule, FullBatchIsOneStepPerEpoch) {
+  // With chunks_per_step = 0 the number of Adam steps equals epochs; the
+  // trajectory must be independent of the shuffle order (mean gradient over
+  // the whole set).
+  Rng drng(3);
+  data::ScaledDataset ds = tiny_task(12, drng);
+  const data::SplitView split = data::split_dataset(12, 12);
+  TrainConfig a, b;
+  a.epochs = b.epochs = 4;
+  a.chunks_per_step = b.chunks_per_step = 0;
+  a.shuffle_seed = 111;
+  b.shuffle_seed = 222;  // different order, same mean gradient
+
+  Rng i1(7), i2(7);
+  QuGeoModel m1(tiny_model(), i1);
+  QuGeoModel m2(tiny_model(), i2);
+  const TrainResult r1 = train_model(m1, ds, split, a);
+  const TrainResult r2 = train_model(m2, ds, split, b);
+  for (std::size_t e = 0; e < 4; ++e)
+    EXPECT_NEAR(r1.curve[e].train_loss, r2.curve[e].train_loss, 1e-9);
+}
+
+TEST(TrainerSchedule, EvalEveryEpochProducesFullCurve) {
+  Rng drng(4);
+  data::ScaledDataset ds = tiny_task(8, drng);
+  const data::SplitView split = data::split_dataset(8, 6);
+  Rng init(5);
+  QuGeoModel model(tiny_model(), init);
+  TrainConfig tc;
+  tc.epochs = 7;
+  const TrainResult r = train_model(model, ds, split, tc);
+  ASSERT_EQ(r.curve.size(), 7u);
+  for (const EpochRecord& rec : r.curve) {
+    EXPECT_GE(rec.test_ssim, -1.0);
+    EXPECT_LE(rec.test_ssim, 1.0);
+    EXPECT_GE(rec.test_mse, 0.0);
+  }
+}
+
+TEST(TrainerSchedule, ZeroEpochsYieldsEmptyCurve) {
+  Rng drng(6);
+  data::ScaledDataset ds = tiny_task(8, drng);
+  const data::SplitView split = data::split_dataset(8, 6);
+  Rng init(7);
+  QuGeoModel model(tiny_model(), init);
+  TrainConfig tc;
+  tc.epochs = 0;
+  const TrainResult r = train_model(model, ds, split, tc);
+  EXPECT_TRUE(r.curve.empty());
+  EXPECT_EQ(r.final_ssim, 0.0);
+}
+
+}  // namespace
+}  // namespace qugeo::core
