@@ -42,7 +42,9 @@ TEST(Ansatz, BatchQubitsAreNeverTouched) {
   EXPECT_EQ(c.num_qubits(), 10u);
   for (const qsim::Op& op : c.ops()) {
     EXPECT_LT(op.qubits[0], 8u);
-    if (qsim::gate_qubit_count(op.kind) == 2) EXPECT_LT(op.qubits[1], 8u);
+    if (qsim::gate_qubit_count(op.kind) == 2) {
+      EXPECT_LT(op.qubits[1], 8u);
+    }
   }
 }
 
