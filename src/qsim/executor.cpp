@@ -88,10 +88,11 @@ AdjointResult adjoint_backward(const Circuit& circuit,
     apply_op_inverse(op, params, psi_out);
 
     // Accumulate parameter gradients: dL/dtheta = 2 Re <lambda_i| dU |psi_{i-1}>.
+    // The angle resolution is loop-invariant across the three slots.
+    const auto vals = Circuit::resolve_params(op, params);
     for (int slot = 0; slot < 3; ++slot) {
       const std::uint32_t pid = op.param_ids[static_cast<std::size_t>(slot)];
       if (pid == kLiteralParam) continue;
-      const auto vals = Circuit::resolve_params(op, params);
       const Mat2 du = gate_matrix_deriv(op.kind, vals, slot);
       scratch.set_amplitudes(psi_out.amplitudes());
       if (gate_is_controlled_1q(op.kind)) {
