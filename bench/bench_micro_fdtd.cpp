@@ -2,6 +2,8 @@
 // and stencil order, plus the two acquisition scales of QuGeoData.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.h"
+
 #include "common/rng.h"
 #include "seismic/forward_modeling.h"
 
@@ -72,3 +74,5 @@ void BM_FlatVelGeneration(benchmark::State& state) {
 BENCHMARK(BM_FlatVelGeneration);
 
 }  // namespace
+
+QUGEO_BENCH_MICRO_MAIN()

@@ -3,6 +3,8 @@
 // baseline step, and SSIM evaluation throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.h"
+
 #include "core/classical_baseline.h"
 #include "core/model.h"
 #include "metrics/image_metrics.h"
@@ -116,3 +118,5 @@ void BM_SsimLarge(benchmark::State& state) {
 BENCHMARK(BM_SsimLarge)->Arg(70)->Arg(256);
 
 }  // namespace
+
+QUGEO_BENCH_MICRO_MAIN()

@@ -77,6 +77,38 @@ template <typename T>
   return a + (b - a) * t;
 }
 
+/// Complex product spelled out over real/imag parts. Bit-identical to the
+/// finite-value path of operator*, but never calls the libm __muldc3 helper
+/// (which GCC emits for std::complex to handle inf/nan edge cases) — this is
+/// the difference between a libcall and four fused multiplies in the gate
+/// kernels.
+[[nodiscard]] inline Complex cmul(const Complex& a, const Complex& b) noexcept {
+  return Complex{a.real() * b.real() - a.imag() * b.imag(),
+                 a.real() * b.imag() + a.imag() * b.real()};
+}
+
+/// conj(a) * b, spelled out like cmul.
+[[nodiscard]] inline Complex cmul_conj(const Complex& a, const Complex& b) noexcept {
+  return Complex{a.real() * b.real() + a.imag() * b.imag(),
+                 a.real() * b.imag() - a.imag() * b.real()};
+}
+
+/// Spread `j` so a zero bit appears at position `bit`: bits [0, bit) stay,
+/// bits [bit, ...) shift up by one. The workhorse of branch-free half-space
+/// iteration over a state vector.
+[[nodiscard]] constexpr std::size_t insert_zero_bit(std::size_t j,
+                                                    std::size_t bit) noexcept {
+  const std::size_t lo = j & ((std::size_t{1} << bit) - 1);
+  return ((j ^ lo) << 1) | lo;
+}
+
+/// Spread `j` so zero bits appear at positions `lo_bit` < `hi_bit` (quarter-
+/// space iteration for two-qubit kernels).
+[[nodiscard]] constexpr std::size_t insert_two_zero_bits(
+    std::size_t j, std::size_t lo_bit, std::size_t hi_bit) noexcept {
+  return insert_zero_bit(insert_zero_bit(j, lo_bit), hi_bit);
+}
+
 /// Approximate floating-point equality with absolute + relative tolerance.
 [[nodiscard]] inline bool approx_equal(Real a, Real b, Real atol = 1e-9,
                                        Real rtol = 1e-7) noexcept {

@@ -1,0 +1,227 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace qugeo {
+namespace {
+
+/// Set while the current thread is executing pool work; nested
+/// parallel_for calls detect it and run inline.
+thread_local bool tl_in_pool_worker = false;
+
+/// One fan-out: a copied chunk body plus atomic work-stealing cursors.
+/// Held by shared_ptr so a worker that wakes late (after the submitting
+/// call returned) still dereferences live memory and simply finds no
+/// chunks left to claim.
+struct Task {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  // First exception thrown by a chunk body: remaining chunks are drained
+  // without running, and the submitting thread rethrows after the fan-out
+  // has fully quiesced (so no worker still references caller state).
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    return target_threads_;
+  }
+
+  void resize(std::size_t n) {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    if (n == 0) n = env_default();
+    if (n == target_threads_) return;
+    stop_workers();
+    target_threads_ = n;
+    start_workers();
+  }
+
+  void run(std::size_t begin, std::size_t end, std::size_t grain,
+           const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::size_t n = end - begin;
+    if (grain == 0) grain = 1;
+    std::size_t threads;
+    {
+      std::lock_guard<std::mutex> lk(config_mutex_);
+      threads = target_threads_;
+    }
+    // Inline when there is nothing to fan out to, when the range is too
+    // small to amortize a dispatch, or when already inside a worker.
+    if (tl_in_pool_worker || threads <= 1 || n <= grain) {
+      if (n != 0) body(begin, end);
+      return;
+    }
+
+    auto task = std::make_shared<Task>();
+    task->body = body;
+    task->begin = begin;
+    task->end = end;
+    // At most 4 chunks per thread keeps scheduling slack without letting
+    // per-chunk dispatch dominate tiny grains.
+    const std::size_t max_chunks = threads * 4;
+    std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+    if (chunk < grain) chunk = grain;
+    task->chunk = chunk;
+    task->num_chunks = (n + chunk - 1) / chunk;
+
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      current_ = task;
+      ++generation_;
+    }
+    wake_.notify_all();
+
+    work_on(*task);  // the submitting thread is pool member #0
+
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      done_.wait(lk, [&] { return task->done.load(std::memory_order_acquire) ==
+                                  task->num_chunks; });
+    }
+    if (task->failed.load(std::memory_order_acquire))
+      std::rethrow_exception(task->error);
+  }
+
+ private:
+  Pool() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    target_threads_ = env_default();
+    start_workers();
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    stop_workers();
+  }
+
+  static std::size_t env_default() {
+    if (const char* env = std::getenv("QUGEO_THREADS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+        return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  void work_on(Task& task) {
+    const bool was_worker = tl_in_pool_worker;
+    tl_in_pool_worker = true;
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t c = task.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= task.num_chunks) break;
+      // After a failure, claimed chunks are drained (counted but not run)
+      // so the submitting thread's completion wait stays bounded.
+      if (!task.failed.load(std::memory_order_acquire)) {
+        const std::size_t lo = task.begin + c * task.chunk;
+        std::size_t hi = lo + task.chunk;
+        if (hi > task.end) hi = task.end;
+        try {
+          task.body(lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> elk(task.error_mutex);
+          if (!task.error) task.error = std::current_exception();
+          task.failed.store(true, std::memory_order_release);
+        }
+      }
+      ++finished;
+    }
+    tl_in_pool_worker = was_worker;
+    if (finished == 0) return;
+    const std::size_t done =
+        task.done.fetch_add(finished, std::memory_order_acq_rel) + finished;
+    if (done == task.num_chunks) {
+      // Empty critical section orders the notify after the waiter's
+      // predicate check.
+      { std::lock_guard<std::mutex> lk(mutex_); }
+      done_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Task> task;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = current_;
+      }
+      if (task) work_on(*task);
+    }
+  }
+
+  void start_workers() {
+    stop_ = false;
+    workers_.reserve(target_threads_ > 0 ? target_threads_ - 1 : 0);
+    for (std::size_t i = 1; i < target_threads_; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  std::mutex config_mutex_;  ///< guards target_threads_ / worker lifecycle
+  std::size_t target_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  ///< guards current_ / generation_ / stop_
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Task> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t num_threads() { return Pool::instance().size(); }
+
+void set_num_threads(std::size_t n) { Pool::instance().resize(n); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  Pool::instance().run(begin, end, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  Pool::instance().run(begin, end, grain, body);
+}
+
+}  // namespace qugeo

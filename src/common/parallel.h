@@ -1,0 +1,60 @@
+// Shared persistent thread pool used by every data-parallel hot loop
+// (QuBatch chunk fan-out, trainer gradient accumulation, FDTD row sweeps,
+// multi-shot forward modelling).
+//
+// Design rules:
+//  - One global pool, sized once from the QUGEO_THREADS env var (default:
+//    hardware concurrency). Workers persist across parallel_for calls, so
+//    per-call dispatch cost is a mutex/condvar round trip, not thread spawn.
+//  - Determinism by construction: iterations are only allowed to write
+//    disjoint state, and every reduction offered here runs in fixed index
+//    order on the calling thread. Results are bit-identical for any thread
+//    count (see test_common_parallel.cpp).
+//  - Nested parallel_for calls run inline on the calling worker (no
+//    deadlock, no oversubscription).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace qugeo {
+
+/// Current worker count of the global pool (>= 1; 1 means "run inline").
+/// Resolved from QUGEO_THREADS on first use.
+[[nodiscard]] std::size_t num_threads();
+
+/// Reconfigure the global pool to exactly `n` threads (n == 0 restores the
+/// QUGEO_THREADS / hardware default). Must not race with an in-flight
+/// parallel_for; intended for tests and program startup.
+void set_num_threads(std::size_t n);
+
+/// Run body(i) for every i in [begin, end), fanned out across the pool.
+/// Blocks until every iteration has finished. Iterations must write
+/// disjoint state; under that contract the result is independent of the
+/// thread count and chunk schedule.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(chunk_begin, chunk_end) over contiguous
+/// sub-ranges of at least `grain` iterations. Prefer this when per-index
+/// dispatch would dominate (e.g. FDTD rows).
+void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Deterministic fixed-order map-reduce: maps every index in parallel into
+/// a dense slot table, then folds the slots sequentially (index order) on
+/// the calling thread. Floating-point reductions therefore do not depend
+/// on the thread count.
+template <typename T, typename MapFn, typename ReduceFn>
+[[nodiscard]] T parallel_map_reduce(std::size_t n, T init, MapFn&& map,
+                                    ReduceFn&& reduce) {
+  std::vector<T> slots(n);
+  parallel_for(0, n, [&](std::size_t i) { slots[i] = map(i); });
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < n; ++i) acc = reduce(std::move(acc), std::move(slots[i]));
+  return acc;
+}
+
+}  // namespace qugeo

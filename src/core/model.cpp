@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "qsim/executor.h"
 #include "qsim/observables.h"
 
@@ -46,17 +47,21 @@ qsim::StateVector QuGeoModel::run_forward(
 std::vector<std::vector<Real>> QuGeoModel::predict(
     std::span<const data::ScaledSample* const> samples) const {
   const std::size_t bs = batch_size();
-  std::vector<std::vector<Real>> out;
-  out.reserve(samples.size());
-  for (std::size_t pos = 0; pos < samples.size(); pos += bs) {
+  const std::size_t num_chunks = (samples.size() + bs - 1) / bs;
+  // QuBatch chunks are independent circuit executions; fan them out across
+  // the pool. Every chunk writes its own slice of `out`, so the result is
+  // identical for any QUGEO_THREADS value.
+  std::vector<std::vector<Real>> out(samples.size());
+  parallel_for(0, num_chunks, [&](std::size_t ci) {
+    const std::size_t pos = ci * bs;
     std::vector<const data::ScaledSample*> chunk(bs);
     for (std::size_t b = 0; b < bs; ++b)
       chunk[b] = samples[std::min(pos + b, samples.size() - 1)];
     const qsim::StateVector psi = run_forward(chunk);
-    const DecodeResult dec = decoder_->decode(psi);
+    DecodeResult dec = decoder_->decode(psi);
     for (std::size_t b = 0; b < bs && pos + b < samples.size(); ++b)
-      out.push_back(dec.predictions[b]);
-  }
+      out[pos + b] = std::move(dec.predictions[b]);
+  });
   return out;
 }
 

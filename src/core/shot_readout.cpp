@@ -7,11 +7,11 @@
 
 namespace qugeo::core {
 
-std::vector<Real> estimate_z_from_shots(const qsim::StateVector& psi,
-                                        std::span<const Index> qubits,
-                                        Rng& rng, std::size_t shots) {
-  if (shots == 0) throw std::invalid_argument("estimate_z_from_shots: 0 shots");
-  const auto samples = psi.sample(rng, shots);
+std::vector<Real> estimate_z_from_cdf(std::span<const Real> cdf,
+                                      std::span<const Index> qubits, Rng& rng,
+                                      std::size_t shots) {
+  if (shots == 0) throw std::invalid_argument("estimate_z_from_cdf: 0 shots");
+  const auto samples = qsim::StateVector::sample_from_cdf(cdf, rng, shots);
   std::vector<Real> z(qubits.size(), Real(0));
   for (Index outcome : samples)
     for (std::size_t i = 0; i < qubits.size(); ++i)
@@ -20,12 +20,19 @@ std::vector<Real> estimate_z_from_shots(const qsim::StateVector& psi,
   return z;
 }
 
-std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
-                                               std::span<const Index> qubits,
-                                               Rng& rng, std::size_t shots) {
+std::vector<Real> estimate_z_from_shots(const qsim::StateVector& psi,
+                                        std::span<const Index> qubits,
+                                        Rng& rng, std::size_t shots) {
+  if (shots == 0) throw std::invalid_argument("estimate_z_from_shots: 0 shots");
+  return estimate_z_from_cdf(psi.cumulative_probabilities(), qubits, rng, shots);
+}
+
+std::vector<Real> estimate_marginal_from_cdf(std::span<const Real> cdf,
+                                             std::span<const Index> qubits,
+                                             Rng& rng, std::size_t shots) {
   if (shots == 0)
-    throw std::invalid_argument("estimate_marginal_from_shots: 0 shots");
-  const auto samples = psi.sample(rng, shots);
+    throw std::invalid_argument("estimate_marginal_from_cdf: 0 shots");
+  const auto samples = qsim::StateVector::sample_from_cdf(cdf, rng, shots);
   std::vector<Real> m(Index{1} << qubits.size(), Real(0));
   for (Index outcome : samples) {
     Index out = 0;
@@ -35,6 +42,15 @@ std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
   }
   for (Real& v : m) v /= static_cast<Real>(shots);
   return m;
+}
+
+std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
+                                               std::span<const Index> qubits,
+                                               Rng& rng, std::size_t shots) {
+  if (shots == 0)
+    throw std::invalid_argument("estimate_marginal_from_shots: 0 shots");
+  return estimate_marginal_from_cdf(psi.cumulative_probabilities(), qubits, rng,
+                                    shots);
 }
 
 std::vector<std::vector<Real>> predict_with_shots(

@@ -19,9 +19,21 @@ namespace qugeo::core {
     const qsim::StateVector& psi, std::span<const Index> qubits, Rng& rng,
     std::size_t shots);
 
+/// As estimate_z_from_shots, but against a precomputed cumulative Born
+/// distribution (StateVector::cumulative_probabilities) so repeated
+/// estimates on the same state skip the O(2^n) CDF rebuild.
+[[nodiscard]] std::vector<Real> estimate_z_from_cdf(
+    std::span<const Real> cdf, std::span<const Index> qubits, Rng& rng,
+    std::size_t shots);
+
 /// Empirical marginal distribution over `qubits` from `shots` samples.
 [[nodiscard]] std::vector<Real> estimate_marginal_from_shots(
     const qsim::StateVector& psi, std::span<const Index> qubits, Rng& rng,
+    std::size_t shots);
+
+/// CDF-span variant of estimate_marginal_from_shots (see estimate_z_from_cdf).
+[[nodiscard]] std::vector<Real> estimate_marginal_from_cdf(
+    std::span<const Real> cdf, std::span<const Index> qubits, Rng& rng,
     std::size_t shots);
 
 /// Predict velocity maps with a trained Q-M-LY style model using sampled

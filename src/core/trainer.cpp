@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "metrics/image_metrics.h"
 #include "nn/schedule.h"
 
@@ -71,28 +72,42 @@ TrainResult train_model(QuGeoModel& model, const data::ScaledDataset& ds,
     const auto order = shuffle_rng.permutation(split.train.size());
     Real epoch_loss = 0;
     std::size_t seen = 0;
-    std::size_t accumulated = 0;
-    std::fill(grads.begin(), grads.end(), Real(0));
-    for (std::size_t pos = 0; pos < order.size(); pos += bs) {
-      std::vector<const data::ScaledSample*> chunk(bs);
-      for (std::size_t b = 0; b < bs; ++b) {
-        const std::size_t oi = std::min(pos + b, order.size() - 1);
-        chunk[b] = &ds.samples[split.train[order[oi]]];
+    const std::size_t total_chunks = (order.size() + bs - 1) / bs;
+    // Chunks inside one accumulation group all see the same parameters, so
+    // they are independent circuit executions: fan them out across the
+    // pool into per-chunk gradient buffers, then fold the buffers in fixed
+    // chunk order. The fold reproduces the sequential accumulation order
+    // exactly, so training is bit-identical for any QUGEO_THREADS value.
+    std::size_t group_start = 0;
+    while (group_start < total_chunks) {
+      const std::size_t remaining = total_chunks - group_start;
+      const std::size_t group =
+          config.chunks_per_step == 0 ? remaining
+                                      : std::min(config.chunks_per_step, remaining);
+      std::vector<std::vector<Real>> chunk_grads(group);
+      std::vector<Real> chunk_loss(group, Real(0));
+      parallel_for(0, group, [&](std::size_t g) {
+        const std::size_t pos = (group_start + g) * bs;
+        std::vector<const data::ScaledSample*> chunk(bs);
+        for (std::size_t b = 0; b < bs; ++b) {
+          const std::size_t oi = std::min(pos + b, order.size() - 1);
+          chunk[b] = &ds.samples[split.train[order[oi]]];
+        }
+        chunk_grads[g].assign(params.size(), Real(0));
+        chunk_loss[g] = model.loss_and_gradient(chunk, chunk_grads[g]);
+      });
+      std::fill(grads.begin(), grads.end(), Real(0));
+      for (std::size_t g = 0; g < group; ++g) {
+        for (std::size_t k = 0; k < grads.size(); ++k) grads[k] += chunk_grads[g][k];
+        epoch_loss += chunk_loss[g];
       }
-      epoch_loss += model.loss_and_gradient(chunk, grads);
-      seen += bs;
-      ++accumulated;
-      const bool last_chunk = pos + bs >= order.size();
-      if ((config.chunks_per_step != 0 && accumulated == config.chunks_per_step) ||
-          last_chunk) {
-        // Mean gradient over the accumulated samples.
-        const Real inv = Real(1) / static_cast<Real>(accumulated * bs);
-        for (Real& g : grads) g *= inv;
-        opt.step(params, grads, schedule.lr(epoch));
-        model.set_parameters(params);
-        std::fill(grads.begin(), grads.end(), Real(0));
-        accumulated = 0;
-      }
+      seen += group * bs;
+      // Mean gradient over the accumulated samples.
+      const Real inv = Real(1) / static_cast<Real>(group * bs);
+      for (Real& g : grads) g *= inv;
+      opt.step(params, grads, schedule.lr(epoch));
+      model.set_parameters(params);
+      group_start += group;
     }
 
     EpochRecord rec;

@@ -3,56 +3,104 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/math_utils.h"
+
 namespace qugeo::qsim {
 namespace {
 
-/// Inner product <a|b> over raw spans.
-Complex inner(std::span<const Complex> a, std::span<const Complex> b) {
-  assert(a.size() == b.size());
+/// Apply the (possibly controlled) 2x2 block `u` of gate `kind`, routing to
+/// the specialized diagonal / anti-diagonal kernels by gate class. SWAP and
+/// identity are handled by the callers.
+void apply_block(GateKind kind, const Mat2& u, const std::array<Index, 2>& qubits,
+                 StateVector& psi) {
+  const bool controlled = gate_is_controlled_1q(kind);
+  switch (gate_class(kind)) {
+    case GateClass::kDiagonal:
+      if (controlled)
+        psi.apply_controlled_diag_1q(u(0, 0), u(1, 1), qubits[0], qubits[1]);
+      else
+        psi.apply_diag_1q(u(0, 0), u(1, 1), qubits[0]);
+      return;
+    case GateClass::kAntiDiagonal:
+      if (controlled)
+        psi.apply_controlled_antidiag_1q(u(0, 1), u(1, 0), qubits[0], qubits[1]);
+      else
+        psi.apply_antidiag_1q(u(0, 1), u(1, 0), qubits[0]);
+      return;
+    case GateClass::kGeneric:
+      if (controlled)
+        psi.apply_controlled_1q(u, qubits[0], qubits[1]);
+      else
+        psi.apply_1q(u, qubits[0]);
+      return;
+  }
+}
+
+/// <lambda| (dU on qubit q) |psi> accumulated directly over the affected
+/// index pairs — no scratch state, no full-vector copy.
+Complex pair_inner_1q(std::span<const Complex> lambda,
+                      std::span<const Complex> psi, const Mat2& du, Index q) {
+  assert(lambda.size() == psi.size());
+  const Index stride = Index{1} << q;
+  const Index half = psi.size() / 2;
+  const Complex d00 = du(0, 0), d01 = du(0, 1), d10 = du(1, 0), d11 = du(1, 1);
   Complex s{0, 0};
-  for (std::size_t k = 0; k < a.size(); ++k) s += std::conj(a[k]) * b[k];
+  for (Index j = 0; j < half; ++j) {
+    const Index i0 = insert_zero_bit(j, q);
+    const Index i1 = i0 | stride;
+    const Complex p0 = psi[i0];
+    const Complex p1 = psi[i1];
+    s += cmul_conj(lambda[i0], cmul(d00, p0) + cmul(d01, p1));
+    s += cmul_conj(lambda[i1], cmul(d10, p0) + cmul(d11, p1));
+  }
+  return s;
+}
+
+/// As pair_inner_1q, but for the derivative of a controlled gate: the
+/// control=|0> block of dU is zero, so only control-set pairs contribute.
+Complex pair_inner_controlled_1q(std::span<const Complex> lambda,
+                                 std::span<const Complex> psi, const Mat2& du,
+                                 Index control, Index target) {
+  assert(lambda.size() == psi.size());
+  const Index cmask = Index{1} << control;
+  const Index tmask = Index{1} << target;
+  const Index lo = control < target ? control : target;
+  const Index hi = control < target ? target : control;
+  const Index quarter = psi.size() / 4;
+  const Complex d00 = du(0, 0), d01 = du(0, 1), d10 = du(1, 0), d11 = du(1, 1);
+  Complex s{0, 0};
+  for (Index j = 0; j < quarter; ++j) {
+    const Index i0 = insert_two_zero_bits(j, lo, hi) | cmask;
+    const Index i1 = i0 | tmask;
+    const Complex p0 = psi[i0];
+    const Complex p1 = psi[i1];
+    s += cmul_conj(lambda[i0], cmul(d00, p0) + cmul(d01, p1));
+    s += cmul_conj(lambda[i1], cmul(d10, p0) + cmul(d11, p1));
+  }
   return s;
 }
 
 }  // namespace
 
 void apply_op(const Op& op, std::span<const Real> params, StateVector& psi) {
-  const auto vals = Circuit::resolve_params(op, params);
-  switch (op.kind) {
-    case GateKind::kSWAP:
-      psi.apply_swap(op.qubits[0], op.qubits[1]);
-      return;
-    case GateKind::kCX:
-    case GateKind::kCZ:
-    case GateKind::kCRY:
-    case GateKind::kCU3:
-      psi.apply_controlled_1q(gate_matrix(op.kind, vals), op.qubits[0],
-                              op.qubits[1]);
-      return;
-    default:
-      psi.apply_1q(gate_matrix(op.kind, vals), op.qubits[0]);
-      return;
+  if (op.kind == GateKind::kSWAP) {
+    psi.apply_swap(op.qubits[0], op.qubits[1]);
+    return;
   }
+  if (op.kind == GateKind::kI) return;
+  const auto vals = Circuit::resolve_params(op, params);
+  apply_block(op.kind, gate_matrix(op.kind, vals), op.qubits, psi);
 }
 
 void apply_op_inverse(const Op& op, std::span<const Real> params,
                       StateVector& psi) {
-  const auto vals = Circuit::resolve_params(op, params);
-  switch (op.kind) {
-    case GateKind::kSWAP:
-      psi.apply_swap(op.qubits[0], op.qubits[1]);
-      return;
-    case GateKind::kCX:
-    case GateKind::kCZ:
-    case GateKind::kCRY:
-    case GateKind::kCU3:
-      psi.apply_controlled_1q(dagger(gate_matrix(op.kind, vals)), op.qubits[0],
-                              op.qubits[1]);
-      return;
-    default:
-      psi.apply_1q(dagger(gate_matrix(op.kind, vals)), op.qubits[0]);
-      return;
+  if (op.kind == GateKind::kSWAP) {
+    psi.apply_swap(op.qubits[0], op.qubits[1]);
+    return;
   }
+  if (op.kind == GateKind::kI) return;
+  const auto vals = Circuit::resolve_params(op, params);
+  apply_block(op.kind, dagger(gate_matrix(op.kind, vals)), op.qubits, psi);
 }
 
 void run_circuit(const Circuit& circuit, std::span<const Real> params,
@@ -79,29 +127,32 @@ AdjointResult adjoint_backward(const Circuit& circuit,
   StateVector lambda(circuit.num_qubits());
   lambda.set_amplitudes(cotangent);
 
-  StateVector scratch(circuit.num_qubits());
-
   const auto ops = circuit.ops();
   for (std::size_t i = ops.size(); i-- > 0;) {
     const Op& op = ops[i];
     // psi_out currently equals psi after op i; rewind to psi before op i.
     apply_op_inverse(op, params, psi_out);
 
-    // Accumulate parameter gradients: dL/dtheta = 2 Re <lambda_i| dU |psi_{i-1}>.
-    // The angle resolution is loop-invariant across the three slots.
-    const auto vals = Circuit::resolve_params(op, params);
-    for (int slot = 0; slot < 3; ++slot) {
-      const std::uint32_t pid = op.param_ids[static_cast<std::size_t>(slot)];
-      if (pid == kLiteralParam) continue;
-      const Mat2 du = gate_matrix_deriv(op.kind, vals, slot);
-      scratch.set_amplitudes(psi_out.amplitudes());
-      if (gate_is_controlled_1q(op.kind)) {
-        scratch.apply_controlled_1q_deriv(du, op.qubits[0], op.qubits[1]);
-      } else {
-        scratch.apply_1q(du, op.qubits[0]);
+    // Accumulate parameter gradients: dL/dtheta = 2 Re <lambda_i| dU |psi_{i-1}>,
+    // evaluated in place over the index pairs the gate touches.
+    const bool has_trainable = op.param_ids[0] != kLiteralParam ||
+                               op.param_ids[1] != kLiteralParam ||
+                               op.param_ids[2] != kLiteralParam;
+    if (has_trainable) {
+      const auto vals = Circuit::resolve_params(op, params);
+      for (int slot = 0; slot < 3; ++slot) {
+        const std::uint32_t pid = op.param_ids[static_cast<std::size_t>(slot)];
+        if (pid == kLiteralParam) continue;
+        const Mat2 du = gate_matrix_deriv(op.kind, vals, slot);
+        const Complex ip =
+            gate_is_controlled_1q(op.kind)
+                ? pair_inner_controlled_1q(lambda.amplitudes(),
+                                           psi_out.amplitudes(), du,
+                                           op.qubits[0], op.qubits[1])
+                : pair_inner_1q(lambda.amplitudes(), psi_out.amplitudes(), du,
+                                op.qubits[0]);
+        result.param_grads[pid] += 2 * ip.real();
       }
-      const Complex ip = inner(lambda.amplitudes(), scratch.amplitudes());
-      result.param_grads[pid] += 2 * ip.real();
     }
 
     // Propagate the cotangent: lambda_{i-1} = U_i^dagger lambda_i.

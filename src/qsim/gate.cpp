@@ -46,6 +46,27 @@ int gate_qubit_count(GateKind kind) noexcept {
   }
 }
 
+GateClass gate_class(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kCZ:
+      return GateClass::kDiagonal;
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kCX:
+      return GateClass::kAntiDiagonal;
+    default:
+      return GateClass::kGeneric;
+  }
+}
+
 bool gate_is_controlled_1q(GateKind kind) noexcept {
   switch (kind) {
     case GateKind::kCX:

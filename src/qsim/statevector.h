@@ -40,13 +40,26 @@ class StateVector {
   /// Apply a 2x2 unitary (or any 2x2 linear map) to qubit `q`.
   void apply_1q(const Mat2& u, Index q);
 
+  /// Fast path: apply diag(d0, d1) to qubit `q` (phase-only, no cross
+  /// terms). When d0 == 1 only the q=|1> half-space is touched.
+  void apply_diag_1q(Complex d0, Complex d1, Index q);
+
+  /// Fast path: apply [[0, a01], [a10, 0]] to qubit `q` (pure amplitude
+  /// swap; a01 == a10 == 1 degenerates to std::swap per pair, i.e. X).
+  void apply_antidiag_1q(Complex a01, Complex a10, Index q);
+
   /// Apply a 2x2 map to `target` on the control=|1> subspace only.
   void apply_controlled_1q(const Mat2& u, Index control, Index target);
 
-  /// As apply_controlled_1q, but additionally zero the control=|0>
-  /// subspace. This realizes the *derivative* of a controlled gate, whose
-  /// control=|0> block differentiates to zero.
-  void apply_controlled_1q_deriv(const Mat2& du, Index control, Index target);
+  /// Fast path: controlled diag(d0, d1). When d0 == 1 (Z, S, T, phase)
+  /// only the control=target=|1> quarter-space is touched — CZ costs one
+  /// multiply per 4 amplitudes.
+  void apply_controlled_diag_1q(Complex d0, Complex d1, Index control,
+                                Index target);
+
+  /// Fast path: controlled [[0, a01], [a10, 0]] (CX when both are 1).
+  void apply_controlled_antidiag_1q(Complex a01, Complex a10, Index control,
+                                    Index target);
 
   /// Swap qubits a and b.
   void apply_swap(Index a, Index b);
@@ -66,8 +79,19 @@ class StateVector {
   /// <Z_q> expectation.
   [[nodiscard]] Real expect_z(Index q) const;
 
+  /// Cumulative Born distribution: cdf[k] = sum_{j<=k} |amps[j]|^2. The
+  /// last entry is the squared norm. Building it is O(2^n); callers that
+  /// sample the same state repeatedly should build it once and use
+  /// sample_from_cdf.
+  [[nodiscard]] std::vector<Real> cumulative_probabilities() const;
+
   /// Draw `shots` basis-state samples from the Born distribution.
   [[nodiscard]] std::vector<Index> sample(Rng& rng, std::size_t shots) const;
+
+  /// Draw `shots` samples against a precomputed CDF (see
+  /// cumulative_probabilities) without rebuilding the O(2^n) prefix sums.
+  [[nodiscard]] static std::vector<Index> sample_from_cdf(
+      std::span<const Real> cdf, Rng& rng, std::size_t shots);
 
   /// Fidelity |<this|other>|^2 (states must have equal dimension).
   [[nodiscard]] Real fidelity(const StateVector& other) const;

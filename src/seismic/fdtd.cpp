@@ -1,8 +1,12 @@
 #include "seismic/fdtd.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace qugeo::seismic {
 namespace {
@@ -28,6 +32,16 @@ Stencil stencil_for_order(int order) {
   }
 }
 
+/// Compile-time view of the stencil: the inner loop bound becomes a
+/// constant the compiler fully unrolls, removing the per-cell
+/// `c[k] == 0` early-out test of the runtime-generic version.
+template <std::size_t Halo>
+std::array<Real, Halo + 1> stencil_coeffs(const Stencil& st) {
+  std::array<Real, Halo + 1> c{};
+  for (std::size_t k = 0; k <= Halo; ++k) c[k] = st.c[k];
+  return c;
+}
+
 /// The computational grid = user model padded by the absorbing strip on
 /// every absorbing side (sources and receivers stay in the interior, so
 /// surface acquisition is not attenuated), plus the stencil halo of zeros.
@@ -49,16 +63,12 @@ Real cerjan(std::size_t d, Real strength) {
   return std::exp(-a * a);
 }
 
-template <typename PerStepFn>
-void propagate(const VelocityModel& model, const GridPos& source,
-               const RickerWavelet& wavelet, const FdtdConfig& cfg,
-               PerStepFn&& per_step) {
+template <std::size_t Halo, typename PerStepFn>
+void propagate_impl(const VelocityModel& model, const GridPos& source,
+                    const RickerWavelet& wavelet, const FdtdConfig& cfg,
+                    const Stencil& st, PerStepFn&& per_step) {
   const std::size_t nz = model.nz(), nx = model.nx();
-  if (source.iz >= nz || source.ix >= nx)
-    throw std::invalid_argument("fdtd: source outside grid");
-  const Stencil st = stencil_for_order(cfg.space_order);
-  if (cfg.dt <= 0 || cfg.dt > max_stable_dt(model, cfg.space_order))
-    throw std::invalid_argument("fdtd: dt violates the CFL stability bound");
+  const std::array<Real, Halo + 1> stc = stencil_coeffs<Halo>(st);
 
   Domain dom;
   dom.side_pad = cfg.sponge_width;
@@ -106,25 +116,33 @@ void propagate(const VelocityModel& model, const GridPos& source,
       dom.cell(source.iz + dom.top_pad, source.ix + dom.side_pad);
   const Real src_c2 = model.at(source.iz, source.ix) * model.at(source.iz, source.ix);
 
+  // Rows write disjoint slices of p_next (the stencil only *reads*
+  // neighbouring rows of p), so the sweep is row-parallel and the result
+  // is independent of the thread count. Small grids stay inline: the
+  // chunk grain is sized so a worker gets at least ~64k cell updates.
+  const std::size_t row_grain =
+      std::max<std::size_t>(1, (std::size_t{1} << 16) / dom.nx_c);
+
   for (std::size_t step = 0; step < cfg.nt; ++step) {
-    for (std::size_t iz_c = 0; iz_c < dom.nz_c; ++iz_c) {
-      const Real* pr = p.data() + dom.cell(iz_c, 0);
-      const Real* pp = p_prev.data() + dom.cell(iz_c, 0);
-      Real* pn = p_next.data() + dom.cell(iz_c, 0);
-      const Real* cc = c2.data() + iz_c * dom.nx_c;
-      for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
-        const Real* pc = pr + ix_c;  // halo makes +-k and +-k*stride safe
-        Real lap = st.c[0] * pc[0] * (inv_dz2 + inv_dx2);
-        for (std::size_t k = 1; k <= st.halo; ++k) {
-          if (st.c[k] == Real(0)) break;
-          const auto kk = static_cast<std::ptrdiff_t>(k);
-          const auto ks = static_cast<std::ptrdiff_t>(k * dom.stride);
-          lap += st.c[k] *
-                 ((pc[kk] + pc[-kk]) * inv_dx2 + (pc[ks] + pc[-ks]) * inv_dz2);
+    parallel_for_chunked(0, dom.nz_c, row_grain, [&](std::size_t z0, std::size_t z1) {
+      for (std::size_t iz_c = z0; iz_c < z1; ++iz_c) {
+        const Real* pr = p.data() + dom.cell(iz_c, 0);
+        const Real* pp = p_prev.data() + dom.cell(iz_c, 0);
+        Real* pn = p_next.data() + dom.cell(iz_c, 0);
+        const Real* cc = c2.data() + iz_c * dom.nx_c;
+        for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+          const Real* pc = pr + ix_c;  // halo makes +-k and +-k*stride safe
+          Real lap = stc[0] * pc[0] * (inv_dz2 + inv_dx2);
+          for (std::size_t k = 1; k <= Halo; ++k) {
+            const auto kk = static_cast<std::ptrdiff_t>(k);
+            const auto ks = static_cast<std::ptrdiff_t>(k * dom.stride);
+            lap += stc[k] *
+                   ((pc[kk] + pc[-kk]) * inv_dx2 + (pc[ks] + pc[-ks]) * inv_dz2);
+          }
+          pn[ix_c] = 2 * pc[0] - pp[ix_c] + cc[ix_c] * dt2 * lap;
         }
-        pn[ix_c] = 2 * pc[0] - pp[ix_c] + cc[ix_c] * dt2 * lap;
       }
-    }
+    });
 
     p_next[src_cell] += cfg.source_amplitude *
                         wavelet(static_cast<Real>(step) * cfg.dt) * src_c2 * dt2;
@@ -135,23 +153,54 @@ void propagate(const VelocityModel& model, const GridPos& source,
     }
 
     // Damp both time levels inside the sponge pads (Cerjan scheme).
-    for (std::size_t iz_c = 0; iz_c < dom.nz_c; ++iz_c) {
-      const Real wz = damp_z[iz_c];
-      Real* pn = p_next.data() + dom.cell(iz_c, 0);
-      Real* pr = p.data() + dom.cell(iz_c, 0);
-      for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
-        const Real w = wz * damp_x[ix_c];
-        if (w != Real(1)) {
-          pn[ix_c] *= w;
-          pr[ix_c] *= w;
+    parallel_for_chunked(0, dom.nz_c, row_grain, [&](std::size_t z0, std::size_t z1) {
+      for (std::size_t iz_c = z0; iz_c < z1; ++iz_c) {
+        const Real wz = damp_z[iz_c];
+        Real* pn = p_next.data() + dom.cell(iz_c, 0);
+        Real* pr = p.data() + dom.cell(iz_c, 0);
+        for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
+          const Real w = wz * damp_x[ix_c];
+          if (w != Real(1)) {
+            pn[ix_c] *= w;
+            pr[ix_c] *= w;
+          }
         }
       }
-    }
+    });
 
     std::swap(p_prev, p);
     std::swap(p, p_next);
 
     per_step(step, p, dom);
+  }
+}
+
+/// Validate the configuration and dispatch to the halo-templated kernel, so
+/// each supported order gets a fully unrolled inner loop.
+template <typename PerStepFn>
+void propagate(const VelocityModel& model, const GridPos& source,
+               const RickerWavelet& wavelet, const FdtdConfig& cfg,
+               PerStepFn&& per_step) {
+  if (source.iz >= model.nz() || source.ix >= model.nx())
+    throw std::invalid_argument("fdtd: source outside grid");
+  const Stencil st = stencil_for_order(cfg.space_order);
+  if (cfg.dt <= 0 || cfg.dt > max_stable_dt(model, cfg.space_order))
+    throw std::invalid_argument("fdtd: dt violates the CFL stability bound");
+  switch (st.halo) {
+    case 1:
+      propagate_impl<1>(model, source, wavelet, cfg, st,
+                        std::forward<PerStepFn>(per_step));
+      return;
+    case 2:
+      propagate_impl<2>(model, source, wavelet, cfg, st,
+                        std::forward<PerStepFn>(per_step));
+      return;
+    case 4:
+      propagate_impl<4>(model, source, wavelet, cfg, st,
+                        std::forward<PerStepFn>(per_step));
+      return;
+    default:
+      throw std::logic_error("fdtd: unsupported stencil halo");
   }
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace qugeo::seismic {
 
 Acquisition openfwi_acquisition() {
@@ -51,8 +53,12 @@ SeismicData model_shots(const VelocityModel& model, const Acquisition& acq) {
   const auto sources = make_source_line(model.nx(), acq.num_sources);
 
   SeismicData data(acq.num_sources, acq.num_time_samples, acq.num_receivers);
-  for (std::size_t s = 0; s < sources.size(); ++s)
+  // Shots are independent wave propagations writing disjoint gathers; fan
+  // them out across the pool (the per-shot FDTD row sweep then runs inline
+  // on its worker).
+  parallel_for(0, sources.size(), [&](std::size_t s) {
     data.set_shot(s, simulate_shot(model, sources[s], wavelet, receivers, cfg));
+  });
   return data;
 }
 
