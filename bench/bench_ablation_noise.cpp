@@ -1,11 +1,13 @@
 // Ablation: NISQ noise robustness. The paper targets near-term noisy
 // devices but evaluates noiselessly; this extension sweeps a depolarizing
-// probability over the trained Q-M-LY model and reports SSIM degradation
-// (trajectory-averaged readout).
+// probability over the trained Q-M-LY model and reports SSIM degradation.
+//
+// The sweep runs end-to-end through QuGeoModel via ExecutionConfig alone:
+// the same trained model is read out on the exact density-matrix backend
+// and on the trajectory backend, cross-validating the sampled estimator
+// against the exact channel (and quantifying the trajectory budget).
 #include "bench_common.h"
-#include "core/encoder.h"
-#include "metrics/image_metrics.h"
-#include "qsim/noise.h"
+#include "qsim/backend.h"
 
 int main() {
   using namespace qugeo;
@@ -25,36 +27,26 @@ int main() {
   core::QuGeoModel model(mc, init);
   (void)train_model(model, ds, split, setup.train);
 
-  const core::QubitLayout& layout = model.layout();
-  const core::StEncoder encoder(layout);
-  const auto params = model.parameters();
-  const std::vector<Index> row_qubits = layout.data_qubits();
-
-  std::printf("\n%-12s | %-8s | %-10s\n", "depol. p", "SSIM", "MSE");
-  std::printf("-------------+----------+-----------\n");
-  metrics::SsimOptions ssim_opts;
-  ssim_opts.data_range = 1.0;
-  Rng noise_rng(2024);
+  std::printf("\n%-12s | %-16s | %-8s | %-10s\n", "depol. p", "backend", "SSIM",
+              "MSE");
+  std::printf("-------------+------------------+----------+-----------\n");
   for (Real p : {0.0, 0.001, 0.005, 0.02, 0.05}) {
-    const std::size_t trajectories = p == 0.0 ? 1 : 48;
-    Real ssim_sum = 0, mse_sum = 0;
-    for (std::size_t idx : split.test) {
-      const auto& sample = ds.samples[idx];
-      const qsim::StateVector psi_in = encoder.encode_single(sample.waveform);
-      const auto z = qsim::noisy_expect_z(model.ansatz(), params, psi_in,
-                                          row_qubits, qsim::NoiseModel{p},
-                                          noise_rng, trajectories);
-      std::vector<Real> pred(64);
-      for (std::size_t i = 0; i < 8; ++i)
-        for (std::size_t j = 0; j < 8; ++j)
-          pred[i * 8 + j] = (1.0 + z[i]) / 2.0;
-      ssim_sum += metrics::ssim(pred, sample.velocity, 8, 8, ssim_opts);
-      mse_sum += metrics::mse(pred, sample.velocity);
+    for (const qsim::BackendKind kind :
+         {qsim::BackendKind::kDensityMatrix, qsim::BackendKind::kTrajectory}) {
+      qsim::ExecutionConfig exec;
+      exec.backend = kind;
+      exec.noise.depolarizing_prob = p;
+      exec.trajectories = p == 0.0 ? 1 : 48;
+      exec.seed = 2024;
+      model.set_execution_config(exec);
+      const core::EvalMetrics ev = evaluate_model(model, ds, split.test);
+      std::printf("%-12g | %-16s | %8.4f | %10.3e\n", p,
+                  std::string(qsim::backend_name(kind)).c_str(), ev.ssim, ev.mse);
     }
-    const Real n = static_cast<Real>(split.test.size());
-    std::printf("%-12g | %8.4f | %10.3e\n", p, ssim_sum / n, mse_sum / n);
   }
-  std::printf("\nExpected shape: graceful SSIM decay with noise; the 576-"
-              "parameter circuit stays usable at realistic error rates.\n");
+  std::printf(
+      "\nExpected shape: graceful SSIM decay with noise, with the trajectory"
+      "\nrows tracking the exact density-matrix rows within sampling error;"
+      "\nthe 576-parameter circuit stays usable at realistic error rates.\n");
   return 0;
 }

@@ -1,0 +1,74 @@
+// Microbenchmarks of the pluggable simulation-backend layer: the paper
+// ansatz executed on the statevector, density-matrix, and N-trajectory
+// backends — the cost model behind choosing exact vs. sampled noise for
+// the NISQ ablation. Merges into BENCH_micro.json like every micro suite.
+#include <benchmark/benchmark.h>
+
+#include "bench_micro_main.h"
+
+#include "common/rng.h"
+#include "core/ansatz.h"
+#include "core/layout.h"
+#include "qsim/backend.h"
+
+namespace {
+
+using namespace qugeo;
+
+struct AnsatzFixture {
+  qsim::Circuit circuit;
+  std::vector<Real> params;
+
+  explicit AnsatzFixture(Index qubits, std::size_t blocks)
+      : circuit(build_ansatz(qubits, blocks)) {
+    params.resize(circuit.num_params());
+    Rng rng(11);
+    rng.fill_uniform(params, -1, 1);
+  }
+
+  static qsim::Circuit build_ansatz(Index qubits, std::size_t blocks) {
+    const core::QubitLayout layout({qubits}, 0);
+    core::AnsatzConfig cfg;
+    cfg.blocks = blocks;
+    return build_qugeo_ansatz(layout, cfg);
+  }
+};
+
+void run_backend_bench(benchmark::State& state, const qsim::ExecutionConfig& cfg,
+                       Index qubits, std::size_t blocks) {
+  const AnsatzFixture fx(qubits, blocks);
+  const auto backend = qsim::make_backend(cfg, qubits);
+  for (auto _ : state) {
+    backend->run(fx.circuit, fx.params);
+    benchmark::DoNotOptimize(backend->probabilities().data());
+  }
+  state.counters["gate_ops"] = static_cast<double>(fx.circuit.num_ops());
+}
+
+void BM_StatevectorBackendForward(benchmark::State& state) {
+  qsim::ExecutionConfig cfg;
+  run_backend_bench(state, cfg, static_cast<Index>(state.range(0)), 4);
+}
+BENCHMARK(BM_StatevectorBackendForward)->Arg(4)->Arg(8);
+
+void BM_DensityBackendForward(benchmark::State& state) {
+  qsim::ExecutionConfig cfg;
+  cfg.backend = qsim::BackendKind::kDensityMatrix;
+  cfg.noise.depolarizing_prob = 0.01;
+  run_backend_bench(state, cfg, static_cast<Index>(state.range(0)), 4);
+}
+BENCHMARK(BM_DensityBackendForward)->Arg(4)->Arg(8);
+
+void BM_TrajectoryBackendForward(benchmark::State& state) {
+  // Arg = trajectory count on the 8-qubit paper ansatz.
+  qsim::ExecutionConfig cfg;
+  cfg.backend = qsim::BackendKind::kTrajectory;
+  cfg.noise.depolarizing_prob = 0.01;
+  cfg.trajectories = static_cast<std::size_t>(state.range(0));
+  run_backend_bench(state, cfg, 8, 4);
+}
+BENCHMARK(BM_TrajectoryBackendForward)->Arg(8)->Arg(32);
+
+}  // namespace
+
+QUGEO_BENCH_MICRO_MAIN()

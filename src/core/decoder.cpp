@@ -33,9 +33,9 @@ PixelDecoder::PixelDecoder(const QubitLayout& layout,
     throw std::invalid_argument("PixelDecoder: need log2(rows*cols) qubits");
 }
 
-DecodeResult PixelDecoder::decode(const qsim::StateVector& psi) const {
+DecodeResult PixelDecoder::decode(std::span<const Real> probabilities) const {
   DecodeResult r;
-  r.probs = psi.probabilities();
+  r.probs.assign(probabilities.begin(), probabilities.end());
   const Index nblocks = layout_->batch_size();
   const std::size_t npix = rows_ * cols_;
   std::vector<std::vector<Real>> marg(nblocks, std::vector<Real>(npix, Real(0)));
@@ -120,9 +120,9 @@ LayerDecoder::LayerDecoder(const QubitLayout& layout,
     throw std::invalid_argument("LayerDecoder: need one qubit per row");
 }
 
-DecodeResult LayerDecoder::decode(const qsim::StateVector& psi) const {
+DecodeResult LayerDecoder::decode(std::span<const Real> probabilities) const {
   DecodeResult r;
-  r.probs = psi.probabilities();
+  r.probs.assign(probabilities.begin(), probabilities.end());
   const Index nblocks = layout_->batch_size();
   std::vector<std::vector<Real>> acc(nblocks, std::vector<Real>(rows_, Real(0)));
   r.block_prob.assign(nblocks, Real(0));

@@ -13,6 +13,13 @@
 // Both decoders expose the same interface: predictions per batch block, and
 // a backward step that converts dL/d(prediction) into dL/dp over the full
 // probability vector (which observables.h turns into a state cotangent).
+//
+// Decoders are backend-agnostic: the primary entry point is
+// decode(std::span<const Real> probabilities), which consumes any
+// simulation backend's Born distribution (statevector, exact density
+// matrix, or trajectory average — see qsim/backend.h). The
+// decode(StateVector) overload is a convenience wrapper for the
+// statevector training path.
 #pragma once
 
 #include <memory>
@@ -42,7 +49,14 @@ class Decoder {
  public:
   virtual ~Decoder() = default;
 
-  [[nodiscard]] virtual DecodeResult decode(const qsim::StateVector& psi) const = 0;
+  /// Decode a full Born distribution (length 2^n) from any backend.
+  [[nodiscard]] virtual DecodeResult decode(
+      std::span<const Real> probabilities) const = 0;
+
+  /// Convenience overload for the exact pure-state path.
+  [[nodiscard]] DecodeResult decode(const qsim::StateVector& psi) const {
+    return decode(std::span<const Real>(psi.probabilities()));
+  }
 
   /// Map dL/d(prediction) (one vector per block, shapes as in decode()) to
   /// dL/dp over the full 2^n probability vector.
@@ -72,7 +86,9 @@ class PixelDecoder final : public Decoder {
   PixelDecoder(const QubitLayout& layout, std::vector<Index> readout_qubits,
                std::size_t rows, std::size_t cols, Real initial_scale = 4.0);
 
-  [[nodiscard]] DecodeResult decode(const qsim::StateVector& psi) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeResult decode(
+      std::span<const Real> probabilities) const override;
   [[nodiscard]] std::vector<Real> probability_grads(
       const DecodeResult& fwd,
       std::span<const std::vector<Real>> pred_grads) const override;
@@ -104,7 +120,9 @@ class LayerDecoder final : public Decoder {
   LayerDecoder(const QubitLayout& layout, std::vector<Index> row_qubits,
                std::size_t rows, std::size_t cols);
 
-  [[nodiscard]] DecodeResult decode(const qsim::StateVector& psi) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeResult decode(
+      std::span<const Real> probabilities) const override;
   [[nodiscard]] std::vector<Real> probability_grads(
       const DecodeResult& fwd,
       std::span<const std::vector<Real>> pred_grads) const override;

@@ -29,6 +29,7 @@ ExperimentResult run_vqc_experiment(const data::ExperimentData& data,
   mc.decoder = spec.decoder;
   mc.vel_rows = ds.vel_rows;
   mc.vel_cols = ds.vel_cols;
+  mc.execution = spec.execution;
 
   Rng init_rng(spec.init_seed);
   QuGeoModel model(mc, init_rng);

@@ -10,6 +10,7 @@ namespace qugeo::core {
 
 QuGeoModel::QuGeoModel(const ModelConfig& config, Rng& init_rng)
     : config_(config),
+      exec_(qsim::apply_env_overrides(config.execution)),
       layout_(config.group_data_qubits, config.batch_log2),
       ansatz_(build_qugeo_ansatz(layout_, config.ansatz)),
       encoder_(layout_),
@@ -44,6 +45,22 @@ qsim::StateVector QuGeoModel::run_forward(
   return psi;
 }
 
+std::vector<Real> QuGeoModel::run_forward_probabilities(
+    std::span<const data::ScaledSample* const> chunk,
+    std::uint64_t stream) const {
+  std::vector<const std::vector<Real>*> waves(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) waves[i] = &chunk[i]->waveform;
+  // Backends are stateful and not thread-safe; predict fans chunks across
+  // the pool, so each chunk drives its own instance. The chunk index (not
+  // the thread) salts the trajectory seed, so results stay deterministic
+  // for any pool size while noise realizations differ across chunks.
+  qsim::ExecutionConfig exec = exec_;
+  exec.seed += 0x9e3779b97f4a7c15ULL * stream;
+  const auto backend = qsim::make_backend(exec, layout_.total_qubits());
+  backend->run(ansatz_, theta_, encoder_.encode(waves));
+  return backend->probabilities();
+}
+
 std::vector<std::vector<Real>> QuGeoModel::predict(
     std::span<const data::ScaledSample* const> samples) const {
   const std::size_t bs = batch_size();
@@ -57,8 +74,8 @@ std::vector<std::vector<Real>> QuGeoModel::predict(
     std::vector<const data::ScaledSample*> chunk(bs);
     for (std::size_t b = 0; b < bs; ++b)
       chunk[b] = samples[std::min(pos + b, samples.size() - 1)];
-    const qsim::StateVector psi = run_forward(chunk);
-    DecodeResult dec = decoder_->decode(psi);
+    const std::vector<Real> probs = run_forward_probabilities(chunk, ci);
+    DecodeResult dec = decoder_->decode(std::span<const Real>(probs));
     for (std::size_t b = 0; b < bs && pos + b < samples.size(); ++b)
       out[pos + b] = std::move(dec.predictions[b]);
   });

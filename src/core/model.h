@@ -1,12 +1,21 @@
 // QuGeoModel: encoder + ansatz + decoder, end to end.
 //
-// forward: waveform batch --StEncoder--> |psi_in> --ansatz(theta)--> |psi>
-//          --Decoder--> predicted velocity maps.
+// forward: waveform batch --StEncoder--> |psi_in> --Backend(ansatz)-->
+//          Born probabilities --Decoder--> predicted velocity maps.
 // backward: loss cotangent --Decoder.probability_grads--> dL/dp
 //          --observables--> dL/d(conj psi) --adjoint_backward--> dL/dtheta.
 //
 // The model owns its trainable parameters: the ansatz angle table plus the
 // decoder's classical parameters (the pixel decoder's output scale).
+//
+// Backend selection: ModelConfig carries a qsim::ExecutionConfig that picks
+// the simulation backend for the inference/readout path (predict). The
+// default — noiseless statevector — reproduces the pre-backend pipeline
+// bit-identically; the density-matrix and trajectory backends run the same
+// pipeline under exact or sampled depolarizing noise (the NISQ ablation).
+// Training gradients (loss_and_gradient) always use the exact noiseless
+// statevector + adjoint path, mirroring the paper's noiseless training; the
+// backend choice governs how the trained model is *read out*.
 #pragma once
 
 #include <memory>
@@ -19,6 +28,7 @@
 #include "core/encoder.h"
 #include "core/layout.h"
 #include "data/dataset.h"
+#include "qsim/backend.h"
 #include "qsim/circuit.h"
 
 namespace qugeo::core {
@@ -33,6 +43,10 @@ struct ModelConfig {
   std::size_t vel_rows = 8;
   std::size_t vel_cols = 8;
   Real param_init_range = 0.1;  ///< angles ~ U(-r, r) at initialization
+  /// Simulation backend for the inference path (see header comment). The
+  /// constructor applies QUGEO_BACKEND / QUGEO_NOISE_P / QUGEO_TRAJECTORIES
+  /// environment overrides on top of this.
+  qsim::ExecutionConfig execution;
 };
 
 class QuGeoModel {
@@ -41,6 +55,14 @@ class QuGeoModel {
 
   [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
   [[nodiscard]] const QubitLayout& layout() const noexcept { return layout_; }
+
+  /// Effective execution config (after environment overrides).
+  [[nodiscard]] const qsim::ExecutionConfig& execution_config() const noexcept {
+    return exec_;
+  }
+  /// Re-point the inference path at a different backend / noise model; the
+  /// sanctioned way to run the noise-robustness ablation on a trained model.
+  void set_execution_config(const qsim::ExecutionConfig& exec) { exec_ = exec; }
   [[nodiscard]] const qsim::Circuit& ansatz() const noexcept { return ansatz_; }
   [[nodiscard]] Index batch_size() const noexcept { return layout_.batch_size(); }
 
@@ -69,10 +91,21 @@ class QuGeoModel {
   [[nodiscard]] Real loss(std::span<const data::ScaledSample* const> chunk) const;
 
  private:
+  /// Exact pure-state forward pass (training path; adjoint needs psi).
   [[nodiscard]] qsim::StateVector run_forward(
       std::span<const data::ScaledSample* const> chunk) const;
 
+  /// Backend-driven forward pass: encode, execute on a fresh backend from
+  /// exec_, return the Born probabilities (inference path). `stream` salts
+  /// the trajectory-backend seed per QuBatch chunk so different samples
+  /// see independent noise realizations (sampling error then averages out
+  /// across a dataset instead of being perfectly correlated).
+  [[nodiscard]] std::vector<Real> run_forward_probabilities(
+      std::span<const data::ScaledSample* const> chunk,
+      std::uint64_t stream) const;
+
   ModelConfig config_;
+  qsim::ExecutionConfig exec_;
   QubitLayout layout_;
   qsim::Circuit ansatz_;
   StEncoder encoder_;

@@ -3,6 +3,12 @@
 // cosine annealing, 500 epochs), evaluating SSIM/MSE on the test split
 // after every epoch so the Figure 5(b)/(c) convergence curves can be
 // regenerated.
+//
+// Gradients always come from the exact adjoint statevector pass; the
+// per-epoch evaluation (evaluate_model -> predict) runs through the
+// model's configured qsim::ExecutionConfig backend, so training curves can
+// be recorded under exact-channel or trajectory noise without touching
+// this file.
 #pragma once
 
 #include <cstdint>

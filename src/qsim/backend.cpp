@@ -1,0 +1,254 @@
+#include "qsim/backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/parallel.h"
+#include "qsim/executor.h"
+#include "qsim/optimizer.h"
+
+namespace qugeo::qsim {
+
+std::string_view backend_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kStatevector: return "statevector";
+    case BackendKind::kDensityMatrix: return "density";
+    case BackendKind::kTrajectory: return "trajectory";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept {
+  if (name == "statevector" || name == "sv") return BackendKind::kStatevector;
+  if (name == "density" || name == "density_matrix")
+    return BackendKind::kDensityMatrix;
+  if (name == "trajectory" || name == "trajectories")
+    return BackendKind::kTrajectory;
+  return std::nullopt;
+}
+
+ExecutionConfig apply_env_overrides(ExecutionConfig base) {
+  if (const char* kind = std::getenv("QUGEO_BACKEND")) {
+    const auto parsed = parse_backend_kind(kind);
+    if (!parsed)
+      throw std::invalid_argument(std::string("QUGEO_BACKEND: unknown backend '") +
+                                  kind + "'");
+    base.backend = *parsed;
+  }
+  if (const char* p = std::getenv("QUGEO_NOISE_P")) {
+    char* end = nullptr;
+    const Real v = std::strtod(p, &end);
+    if (end == p || *end != '\0' || v < 0 || v > 1)
+      throw std::invalid_argument(
+          std::string("QUGEO_NOISE_P: expected a probability, got '") + p + "'");
+    base.noise.depolarizing_prob = v;
+  }
+  if (const char* t = std::getenv("QUGEO_TRAJECTORIES")) {
+    char* end = nullptr;
+    const long n = std::strtol(t, &end, 10);
+    if (end == t || *end != '\0' || n <= 0)
+      throw std::invalid_argument(
+          std::string("QUGEO_TRAJECTORIES: expected a positive integer, got '") +
+          t + "'");
+    base.trajectories = static_cast<std::size_t>(n);
+  }
+  return base;
+}
+
+// ------------------------------------------------------ StatevectorBackend --
+
+StatevectorBackend::StatevectorBackend(const ExecutionConfig& config)
+    : psi_(0) {
+  // The statevector backend is exact and noiseless; a NoiseModel in the
+  // config is an ablation parameter for the other backends, not an error.
+  (void)config;
+}
+
+Index StatevectorBackend::num_qubits() const noexcept {
+  return psi_.num_qubits();
+}
+
+void StatevectorBackend::prepare(Index num_qubits) {
+  psi_ = StateVector(num_qubits);
+}
+
+void StatevectorBackend::run(const Circuit& circuit,
+                             std::span<const Real> params,
+                             StateVector initial_state) {
+  psi_ = std::move(initial_state);
+  // Only pay for the canonical copy when fusion changes something; the
+  // all-trainable ansatz runs by reference.
+  if (has_fusable_runs(circuit))
+    run_circuit(canonicalize_for_backend(circuit), params, psi_);
+  else
+    run_circuit(circuit, params, psi_);
+}
+
+std::vector<Real> StatevectorBackend::probabilities() const {
+  return psi_.probabilities();
+}
+
+std::vector<Real> StatevectorBackend::expect_z(
+    std::span<const Index> qubits) const {
+  std::vector<Real> z(qubits.size());
+  for (std::size_t i = 0; i < qubits.size(); ++i) z[i] = psi_.expect_z(qubits[i]);
+  return z;
+}
+
+// ---------------------------------------------------- DensityMatrixBackend --
+
+DensityMatrixBackend::DensityMatrixBackend(const ExecutionConfig& config)
+    : noise_(config.noise) {}
+
+Index DensityMatrixBackend::num_qubits() const noexcept {
+  return rho_ ? rho_->num_qubits() : 0;
+}
+
+void DensityMatrixBackend::prepare(Index num_qubits) {
+  if (rho_ && rho_->num_qubits() == num_qubits)
+    rho_->reset();
+  else
+    rho_.emplace(num_qubits);
+}
+
+void DensityMatrixBackend::run(const Circuit& circuit,
+                               std::span<const Real> params,
+                               StateVector initial_state) {
+  if (!rho_ || rho_->num_qubits() != initial_state.num_qubits())
+    rho_.emplace(initial_state.num_qubits());
+  rho_->set_from_state(initial_state);
+  // Run fusion collapses k literal gates into one, which would also
+  // collapse their k per-gate noise insertion points into one; with the
+  // channel active the original op stream must execute verbatim.
+  if (noise_.depolarizing_prob > 0 || !has_fusable_runs(circuit))
+    run_circuit_density(circuit, params, *rho_, noise_.depolarizing_prob);
+  else
+    run_circuit_density(canonicalize_for_backend(circuit), params, *rho_, 0);
+}
+
+std::vector<Real> DensityMatrixBackend::probabilities() const {
+  return density().probabilities();
+}
+
+std::vector<Real> DensityMatrixBackend::expect_z(
+    std::span<const Index> qubits) const {
+  const DensityMatrix& rho = density();
+  std::vector<Real> z(qubits.size());
+  for (std::size_t i = 0; i < qubits.size(); ++i) z[i] = rho.expect_z(qubits[i]);
+  return z;
+}
+
+const DensityMatrix& DensityMatrixBackend::density() const {
+  if (!rho_)
+    throw std::logic_error("DensityMatrixBackend: no state (call prepare/run)");
+  return *rho_;
+}
+
+// ------------------------------------------------------- TrajectoryBackend --
+
+TrajectoryBackend::TrajectoryBackend(const ExecutionConfig& config)
+    : noise_(config.noise),
+      trajectories_(config.trajectories == 0 ? 1 : config.trajectories),
+      seed_(config.seed) {}
+
+Index TrajectoryBackend::num_qubits() const noexcept { return num_qubits_; }
+
+void TrajectoryBackend::prepare(Index num_qubits) {
+  num_qubits_ = num_qubits;
+  mean_probs_.assign(Index{1} << num_qubits, Real(0));
+  mean_probs_[0] = Real(1);
+}
+
+void TrajectoryBackend::run(const Circuit& circuit,
+                            std::span<const Real> params,
+                            StateVector initial_state) {
+  num_qubits_ = initial_state.num_qubits();
+  const Index dim = initial_state.dim();
+
+  // p = 0 makes every trajectory identical to the exact run; skip the
+  // fan-out entirely (env-driven smoke runs pay one statevector pass).
+  // Noisy runs execute the ORIGINAL op stream: run fusion would collapse
+  // per-gate noise insertion points (see DensityMatrixBackend::run).
+  if (noise_.depolarizing_prob <= 0) {
+    StateVector psi = std::move(initial_state);
+    if (has_fusable_runs(circuit))
+      run_circuit(canonicalize_for_backend(circuit), params, psi);
+    else
+      run_circuit(circuit, params, psi);
+    mean_probs_ = psi.probabilities();
+    return;
+  }
+  if (trajectories_ == 1) {
+    StateVector psi = std::move(initial_state);
+    Rng rng = trajectory_rng(seed_, 0);
+    run_circuit_noisy(circuit, params, psi, noise_, rng);
+    mean_probs_ = psi.probabilities();
+    return;
+  }
+
+  // Trajectory fan-out over the shared pool. A fixed number of accumulation
+  // slots (independent of the thread count) each sum a strided subset of
+  // trajectories sequentially; the slots fold in index order afterwards, so
+  // the average is bit-identical for any QUGEO_THREADS value while keeping
+  // memory at O(slots * 2^n) instead of O(trajectories * 2^n).
+  const std::size_t slots = std::min<std::size_t>(trajectories_, 32);
+  std::vector<std::vector<Real>> partial(slots);
+  parallel_for(0, slots, [&](std::size_t s) {
+    std::vector<Real> acc(dim, Real(0));
+    for (std::size_t t = s; t < trajectories_; t += slots) {
+      StateVector psi = initial_state;
+      Rng rng = trajectory_rng(seed_, t);
+      run_circuit_noisy(circuit, params, psi, noise_, rng);
+      const auto amps = psi.amplitudes();
+      for (Index k = 0; k < dim; ++k) acc[k] += std::norm(amps[k]);
+    }
+    partial[s] = std::move(acc);
+  });
+
+  mean_probs_.assign(dim, Real(0));
+  for (std::size_t s = 0; s < slots; ++s)
+    for (Index k = 0; k < dim; ++k) mean_probs_[k] += partial[s][k];
+  const Real inv = Real(1) / static_cast<Real>(trajectories_);
+  for (Real& p : mean_probs_) p *= inv;
+}
+
+std::vector<Real> TrajectoryBackend::probabilities() const {
+  return mean_probs_;
+}
+
+std::vector<Real> TrajectoryBackend::expect_z(
+    std::span<const Index> qubits) const {
+  std::vector<Real> z(qubits.size(), Real(0));
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    const Index mask = Index{1} << qubits[i];
+    for (Index k = 0; k < mean_probs_.size(); ++k)
+      z[i] += ((k & mask) ? Real(-1) : Real(1)) * mean_probs_[k];
+  }
+  return z;
+}
+
+// ----------------------------------------------------------------- factory --
+
+std::unique_ptr<Backend> make_backend(const ExecutionConfig& config,
+                                      Index num_qubits) {
+  switch (config.backend) {
+    case BackendKind::kStatevector:
+      return std::make_unique<StatevectorBackend>(config);
+    case BackendKind::kDensityMatrix:
+      if (num_qubits > max_density_qubits()) {
+        if (config.noise.depolarizing_prob <= 0)
+          return std::make_unique<StatevectorBackend>(config);
+        throw std::invalid_argument(
+            "make_backend: density-matrix backend supports at most " +
+            std::to_string(max_density_qubits()) + " qubits (requested " +
+            std::to_string(num_qubits) + " with noise enabled)");
+      }
+      return std::make_unique<DensityMatrixBackend>(config);
+    case BackendKind::kTrajectory:
+      return std::make_unique<TrajectoryBackend>(config);
+  }
+  throw std::invalid_argument("make_backend: unknown backend kind");
+}
+
+}  // namespace qugeo::qsim

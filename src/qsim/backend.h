@@ -1,0 +1,196 @@
+// Pluggable simulation-backend layer: one interface over exact statevector
+// execution, exact density-matrix (channel) execution, and sampled
+// noisy-trajectory execution.
+//
+// The core layer (QuGeoModel, Experiment, benches) selects a backend purely
+// through ExecutionConfig — no call-site special-casing — so the same
+// pipeline runs noiselessly, with exact depolarizing channels, or with
+// Pauli-twirl trajectories. Noiseless execution paths canonicalize the
+// circuit first (optimizer.h: single-qubit run fusion, diagonal-run
+// merging), so every backend benefits from the GateClass kernel dispatch;
+// with a channel active the original op stream executes verbatim, because
+// fusing k gates into one would also fuse their k noise insertion points.
+//
+// Capability mask:
+//  * supports_adjoint — the backend exposes a statevector the adjoint
+//    differentiation engine can run on (training-grade gradients).
+//  * exact_noise     — NoiseModel channels are applied exactly (density
+//    matrix) rather than estimated by sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "qsim/density_matrix.h"
+#include "qsim/noise.h"
+#include "qsim/statevector.h"
+
+namespace qugeo::qsim {
+
+enum class BackendKind : std::uint8_t {
+  kStatevector,    ///< exact pure-state simulation (fast-path kernels)
+  kDensityMatrix,  ///< exact mixed-state simulation with exact channels
+  kTrajectory,     ///< Pauli-twirl trajectory sampling over the thread pool
+};
+
+/// "statevector" | "density" | "trajectory".
+[[nodiscard]] std::string_view backend_name(BackendKind kind) noexcept;
+
+/// Inverse of backend_name (also accepts "density_matrix"); nullopt on
+/// unknown names.
+[[nodiscard]] std::optional<BackendKind> parse_backend_kind(
+    std::string_view name) noexcept;
+
+struct BackendCaps {
+  bool supports_adjoint = false;
+  bool exact_noise = false;
+};
+
+/// Everything the core layer needs to pick and parameterize a backend.
+/// The default (noiseless statevector) reproduces the pre-backend pipeline
+/// bit-identically.
+struct ExecutionConfig {
+  BackendKind backend = BackendKind::kStatevector;
+  NoiseModel noise;                ///< ignored by the statevector backend
+  std::size_t trajectories = 64;   ///< trajectory backend sample count
+  std::uint64_t seed = 0x51d5eedULL;  ///< base seed for trajectory streams
+};
+
+/// Environment overrides for smoke runs and CI: QUGEO_BACKEND
+/// ("statevector" | "density" | "trajectory"), QUGEO_NOISE_P (real),
+/// QUGEO_TRAJECTORIES (integer). Unset variables leave `base` untouched.
+[[nodiscard]] ExecutionConfig apply_env_overrides(ExecutionConfig base);
+
+/// A stateful execution engine: prepare (or inject) a state, run a circuit,
+/// read out probabilities / expectations. Backends are cheap to construct
+/// and NOT thread-safe; parallel call sites create one per task (QuGeoModel
+/// does so per QuBatch chunk).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
+  [[nodiscard]] virtual BackendCaps caps() const noexcept = 0;
+
+  /// Current qubit count (0 before the first prepare/run).
+  [[nodiscard]] virtual Index num_qubits() const noexcept = 0;
+
+  /// Reset the internal state to |0...0> on `num_qubits` qubits.
+  virtual void prepare(Index num_qubits) = 0;
+
+  /// Execute the circuit from the given initial state (the encoder's
+  /// output), replacing the internal state with the result. Trainable
+  /// angles resolve against `params`.
+  virtual void run(const Circuit& circuit, std::span<const Real> params,
+                   StateVector initial_state) = 0;
+
+  /// Execute from |0...0>.
+  void run(const Circuit& circuit, std::span<const Real> params) {
+    run(circuit, params, StateVector(circuit.num_qubits()));
+  }
+
+  /// Born probabilities of the executed state (for the trajectory backend:
+  /// the trajectory-averaged distribution, an unbiased estimate of the
+  /// channel's diagonal).
+  [[nodiscard]] virtual std::vector<Real> probabilities() const = 0;
+
+  /// <Z_q> for each listed qubit.
+  [[nodiscard]] virtual std::vector<Real> expect_z(
+      std::span<const Index> qubits) const = 0;
+};
+
+class StatevectorBackend final : public Backend {
+ public:
+  explicit StatevectorBackend(const ExecutionConfig& config);
+
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kStatevector;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    return BackendCaps{.supports_adjoint = true, .exact_noise = false};
+  }
+  [[nodiscard]] Index num_qubits() const noexcept override;
+  void prepare(Index num_qubits) override;
+  using Backend::run;
+  void run(const Circuit& circuit, std::span<const Real> params,
+           StateVector initial_state) override;
+  [[nodiscard]] std::vector<Real> probabilities() const override;
+  [[nodiscard]] std::vector<Real> expect_z(
+      std::span<const Index> qubits) const override;
+
+  /// The executed pure state (adjoint differentiation entry point).
+  [[nodiscard]] const StateVector& state() const { return psi_; }
+
+ private:
+  StateVector psi_;
+};
+
+class DensityMatrixBackend final : public Backend {
+ public:
+  explicit DensityMatrixBackend(const ExecutionConfig& config);
+
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kDensityMatrix;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    return BackendCaps{.supports_adjoint = false, .exact_noise = true};
+  }
+  [[nodiscard]] Index num_qubits() const noexcept override;
+  void prepare(Index num_qubits) override;
+  using Backend::run;
+  void run(const Circuit& circuit, std::span<const Real> params,
+           StateVector initial_state) override;
+  [[nodiscard]] std::vector<Real> probabilities() const override;
+  [[nodiscard]] std::vector<Real> expect_z(
+      std::span<const Index> qubits) const override;
+
+  /// The executed mixed state (purity / trace diagnostics).
+  [[nodiscard]] const DensityMatrix& density() const;
+
+ private:
+  NoiseModel noise_;
+  std::optional<DensityMatrix> rho_;
+};
+
+class TrajectoryBackend final : public Backend {
+ public:
+  explicit TrajectoryBackend(const ExecutionConfig& config);
+
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kTrajectory;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    return BackendCaps{.supports_adjoint = false, .exact_noise = false};
+  }
+  [[nodiscard]] Index num_qubits() const noexcept override;
+  void prepare(Index num_qubits) override;
+  using Backend::run;
+  void run(const Circuit& circuit, std::span<const Real> params,
+           StateVector initial_state) override;
+  [[nodiscard]] std::vector<Real> probabilities() const override;
+  [[nodiscard]] std::vector<Real> expect_z(
+      std::span<const Index> qubits) const override;
+
+ private:
+  NoiseModel noise_;
+  std::size_t trajectories_;
+  std::uint64_t seed_;
+  Index num_qubits_ = 0;
+  std::vector<Real> mean_probs_;
+};
+
+/// Build the configured backend. When the density-matrix backend is
+/// requested for more qubits than the dense representation supports AND the
+/// noise model is trivial (p = 0), the statevector backend is substituted —
+/// at p = 0 the exact channel semantics degenerate to unitary evolution, so
+/// the substitution is exact, and env-driven smoke runs (QUGEO_BACKEND)
+/// keep working on large layouts. With p > 0 the request throws instead.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(
+    const ExecutionConfig& config, Index num_qubits);
+
+}  // namespace qugeo::qsim

@@ -9,6 +9,8 @@ constexpr Index kMaxDensityQubits = 13;  // 4^13 complexes = 1 GiB; cap below
 
 }  // namespace
 
+Index max_density_qubits() noexcept { return kMaxDensityQubits; }
+
 DensityMatrix::DensityMatrix(Index num_qubits)
     : num_qubits_(num_qubits), dim_(Index{1} << num_qubits) {
   if (num_qubits > kMaxDensityQubits)
@@ -19,11 +21,22 @@ DensityMatrix::DensityMatrix(Index num_qubits)
 
 DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
   DensityMatrix rho(psi.num_qubits());
-  const auto amps = psi.amplitudes();
-  for (Index r = 0; r < rho.dim_; ++r)
-    for (Index c = 0; c < rho.dim_; ++c)
-      rho.rho_[r * rho.dim_ + c] = amps[r] * std::conj(amps[c]);
+  rho.set_from_state(psi);
   return rho;
+}
+
+void DensityMatrix::reset() {
+  std::fill(rho_.begin(), rho_.end(), Complex{0, 0});
+  rho_[0] = Complex{1, 0};
+}
+
+void DensityMatrix::set_from_state(const StateVector& psi) {
+  if (psi.num_qubits() != num_qubits_)
+    throw std::invalid_argument("DensityMatrix::set_from_state: qubit count mismatch");
+  const auto amps = psi.amplitudes();
+  for (Index r = 0; r < dim_; ++r)
+    for (Index c = 0; c < dim_; ++c)
+      rho_[r * dim_ + c] = amps[r] * std::conj(amps[c]);
 }
 
 void DensityMatrix::apply_1q(const Mat2& u, Index q) {
@@ -107,20 +120,67 @@ void DensityMatrix::apply_swap(Index a, Index b) {
   rho_ = std::move(next);
 }
 
+void DensityMatrix::apply_kraus(std::span<const Mat2> kraus, Index q) {
+  const Index stride = Index{1} << q;
+  // sum_k K_k rho K_k^+, accumulated over the 2x2 blocks the qubit couples:
+  // for fixed "rest" indices, the channel acts on the block
+  // B = [[rho(r0,c0), rho(r0,c1)], [rho(r1,c0), rho(r1,c1)]].
+  std::vector<Complex> next(rho_.size(), Complex{0, 0});
+  for (const Mat2& k : kraus) {
+    const Mat2 kd = dagger(k);
+    for (Index rbase = 0; rbase < dim_; rbase += 2 * stride) {
+      for (Index roff = 0; roff < stride; ++roff) {
+        const Index r0 = rbase + roff, r1 = r0 + stride;
+        for (Index cbase = 0; cbase < dim_; cbase += 2 * stride) {
+          for (Index coff = 0; coff < stride; ++coff) {
+            const Index c0 = cbase + coff, c1 = c0 + stride;
+            const Complex b00 = rho_[r0 * dim_ + c0];
+            const Complex b01 = rho_[r0 * dim_ + c1];
+            const Complex b10 = rho_[r1 * dim_ + c0];
+            const Complex b11 = rho_[r1 * dim_ + c1];
+            // K B
+            const Complex t00 = k(0, 0) * b00 + k(0, 1) * b10;
+            const Complex t01 = k(0, 0) * b01 + k(0, 1) * b11;
+            const Complex t10 = k(1, 0) * b00 + k(1, 1) * b10;
+            const Complex t11 = k(1, 0) * b01 + k(1, 1) * b11;
+            // (K B) K^+
+            next[r0 * dim_ + c0] += t00 * kd(0, 0) + t01 * kd(1, 0);
+            next[r0 * dim_ + c1] += t00 * kd(0, 1) + t01 * kd(1, 1);
+            next[r1 * dim_ + c0] += t10 * kd(0, 0) + t11 * kd(1, 0);
+            next[r1 * dim_ + c1] += t10 * kd(0, 1) + t11 * kd(1, 1);
+          }
+        }
+      }
+    }
+  }
+  rho_ = std::move(next);
+}
+
 void DensityMatrix::depolarize(Index q, Real p) {
   if (p <= 0) return;
-  // rho -> (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z)
-  static const Mat2 kX{{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}}};
-  static const Mat2 kY{{Complex{0, 0}, Complex{0, -1}, Complex{0, 1}, Complex{0, 0}}};
-  static const Mat2 kZ{{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-1, 0}}};
-  DensityMatrix x = *this, y = *this, z = *this;
-  x.apply_1q(kX, q);
-  y.apply_1q(kY, q);
-  z.apply_1q(kZ, q);
-  const Real keep = 1 - p;
-  const Real mix = p / 3;
-  for (Index k = 0; k < rho_.size(); ++k)
-    rho_[k] = keep * rho_[k] + mix * (x.rho_[k] + y.rho_[k] + z.rho_[k]);
+  // (1-p) rho + (p/3)(X rho X + Y rho Y + Z rho Z)
+  //   = (1-p') rho + p' Tr_q(rho) (x) I/2,  p' = 4p/3.
+  // Applied block-wise in place: off-diagonal (in q) entries scale by
+  // (1-p'); the diagonal pair is mixed toward its average.
+  const Real keep = 1 - 4 * p / 3;
+  const Index stride = Index{1} << q;
+  for (Index rbase = 0; rbase < dim_; rbase += 2 * stride) {
+    for (Index roff = 0; roff < stride; ++roff) {
+      const Index r0 = rbase + roff, r1 = r0 + stride;
+      for (Index cbase = 0; cbase < dim_; cbase += 2 * stride) {
+        for (Index coff = 0; coff < stride; ++coff) {
+          const Index c0 = cbase + coff, c1 = c0 + stride;
+          Complex& b00 = rho_[r0 * dim_ + c0];
+          Complex& b11 = rho_[r1 * dim_ + c1];
+          const Complex avg = (b00 + b11) * Real(0.5);
+          b00 = keep * b00 + (1 - keep) * avg;
+          b11 = keep * b11 + (1 - keep) * avg;
+          rho_[r0 * dim_ + c1] *= keep;
+          rho_[r1 * dim_ + c0] *= keep;
+        }
+      }
+    }
+  }
 }
 
 Real DensityMatrix::trace() const {

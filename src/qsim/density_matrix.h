@@ -4,8 +4,10 @@
 // unbiased stochastic estimate of the depolarizing channel, this class
 // applies the channel exactly — rho -> (1-p) U rho U^+ + (p/3) sum_P P rho P
 // — at O(4^n) memory, comfortably covering the paper's 8-16 qubit regime
-// at the low end. Used by tests to pin down the trajectory sampler and by
-// the noise ablation for exact small-system numbers.
+// at the low end. It can run full circuits (gate application + Kraus /
+// depolarizing channel ops), and backs DensityMatrixBackend in backend.h;
+// tests use it to pin down the trajectory sampler, and the noise ablation
+// for exact small-system numbers.
 #pragma once
 
 #include <span>
@@ -15,6 +17,9 @@
 #include "qsim/statevector.h"
 
 namespace qugeo::qsim {
+
+/// Largest qubit count the dense representation accepts (4^n complexes).
+[[nodiscard]] Index max_density_qubits() noexcept;
 
 class DensityMatrix {
  public:
@@ -30,6 +35,12 @@ class DensityMatrix {
     return rho_[r * dim_ + c];
   }
 
+  /// Reset to |0...0><0...0|.
+  void reset();
+
+  /// Overwrite with the pure-state projector |psi><psi| (same qubit count).
+  void set_from_state(const StateVector& psi);
+
   /// Apply a 1-qubit unitary: rho -> U rho U^+.
   void apply_1q(const Mat2& u, Index q);
 
@@ -39,7 +50,14 @@ class DensityMatrix {
   /// SWAP conjugation.
   void apply_swap(Index a, Index b);
 
-  /// Exact single-qubit depolarizing channel with probability p.
+  /// General 1-qubit quantum channel from its Kraus operators:
+  /// rho -> sum_k K_k rho K_k^+. The caller is responsible for the
+  /// completeness relation sum_k K_k^+ K_k = I (trace preservation).
+  void apply_kraus(std::span<const Mat2> kraus, Index q);
+
+  /// Exact single-qubit depolarizing channel with probability p, applied
+  /// in place (no scratch copies): rho -> (1-p') rho + p' Tr_q(rho) (x) I/2
+  /// with p' = 4p/3.
   void depolarize(Index q, Real p);
 
   /// Trace (should stay 1 under channels).

@@ -1,5 +1,6 @@
 #include "qsim/noise.h"
 
+#include "common/parallel.h"
 #include "qsim/executor.h"
 
 namespace qugeo::qsim {
@@ -19,6 +20,13 @@ void maybe_depolarize(StateVector& psi, Index q, Real p, Rng& rng) {
 
 }  // namespace
 
+Rng trajectory_rng(std::uint64_t seed, std::size_t trajectory) {
+  // Distinct 64-bit seeds per trajectory; Rng::reseed's splitmix64 expansion
+  // decorrelates the arithmetic progression.
+  return Rng(seed + 0x9e3779b97f4a7c15ULL *
+                        (static_cast<std::uint64_t>(trajectory) + 1));
+}
+
 void run_circuit_noisy(const Circuit& circuit, std::span<const Real> params,
                        StateVector& psi, const NoiseModel& noise, Rng& rng) {
   for (const Op& op : circuit.ops()) {
@@ -34,15 +42,22 @@ std::vector<Real> noisy_expect_z(const Circuit& circuit,
                                  std::span<const Real> params,
                                  const StateVector& psi_in,
                                  std::span<const Index> qubits,
-                                 const NoiseModel& noise, Rng& rng,
+                                 const NoiseModel& noise, std::uint64_t seed,
                                  std::size_t trajectories) {
-  std::vector<Real> acc(qubits.size(), Real(0));
-  for (std::size_t t = 0; t < trajectories; ++t) {
+  // One result slot per trajectory, folded in index order afterwards: the
+  // average does not depend on the thread count or pool schedule.
+  std::vector<std::vector<Real>> per_traj(trajectories);
+  parallel_for(0, trajectories, [&](std::size_t t) {
     StateVector psi = psi_in;
+    Rng rng = trajectory_rng(seed, t);
     run_circuit_noisy(circuit, params, psi, noise, rng);
+    per_traj[t].resize(qubits.size());
     for (std::size_t i = 0; i < qubits.size(); ++i)
-      acc[i] += psi.expect_z(qubits[i]);
-  }
+      per_traj[t][i] = psi.expect_z(qubits[i]);
+  });
+  std::vector<Real> acc(qubits.size(), Real(0));
+  for (std::size_t t = 0; t < trajectories; ++t)
+    for (std::size_t i = 0; i < qubits.size(); ++i) acc[i] += per_traj[t][i];
   for (Real& a : acc) a /= static_cast<Real>(trajectories);
   return acc;
 }

@@ -1,12 +1,18 @@
 // Depolarizing-noise execution via Pauli-twirl trajectory sampling.
 //
 // The paper targets NISQ hardware but evaluates on a noiseless simulator;
-// this module is the "optional extension" used by the noise-robustness
-// ablation bench: each trajectory stochastically inserts X/Y/Z errors after
-// every gate with per-qubit probability p, and observables are averaged
-// over trajectories (an unbiased estimator of the depolarizing channel).
+// this module is the stochastic half of the noisy-execution story (the
+// exact half lives in density_matrix.h): each trajectory stochastically
+// inserts X/Y/Z errors after every gate with per-qubit probability p, and
+// observables are averaged over trajectories (an unbiased estimator of the
+// depolarizing channel).
+//
+// Reproducibility contract: every trajectory draws from its own RNG
+// sub-stream derived from (seed, trajectory index), so averaged results
+// are bit-identical for any thread count and any trajectory scheduling.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "common/rng.h"
@@ -20,15 +26,24 @@ struct NoiseModel {
   Real depolarizing_prob = 0.0;
 };
 
+/// Independent RNG sub-stream for one trajectory: mixes the base seed with
+/// the trajectory index (splitmix64 expansion inside Rng decorrelates the
+/// nearby seeds). Trajectory t always sees the same stream, no matter which
+/// thread runs it or how many trajectories run beside it.
+[[nodiscard]] Rng trajectory_rng(std::uint64_t seed, std::size_t trajectory);
+
 /// Run one noisy trajectory of the circuit on `psi` (in place).
 void run_circuit_noisy(const Circuit& circuit, std::span<const Real> params,
                        StateVector& psi, const NoiseModel& noise, Rng& rng);
 
 /// Average <Z_q> for each listed qubit over `trajectories` noisy runs that
-/// all start from `psi_in`.
+/// all start from `psi_in`. Trajectories fan out across the shared thread
+/// pool; each draws its own (seed, index) sub-stream and the per-trajectory
+/// results are folded in fixed index order, so the answer is bit-identical
+/// for any QUGEO_THREADS value.
 [[nodiscard]] std::vector<Real> noisy_expect_z(
     const Circuit& circuit, std::span<const Real> params,
     const StateVector& psi_in, std::span<const Index> qubits,
-    const NoiseModel& noise, Rng& rng, std::size_t trajectories);
+    const NoiseModel& noise, std::uint64_t seed, std::size_t trajectories);
 
 }  // namespace qugeo::qsim

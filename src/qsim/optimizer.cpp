@@ -65,6 +65,54 @@ bool is_identity_angle(GateKind kind, Real angle, Real eps) {
   return std::abs(r) <= eps;
 }
 
+/// Re-emit one surviving op into `result` through the public builder API.
+void emit_op(Circuit& result, const Op& op) {
+  const bool trainable = op.param_ids[0] != kLiteralParam;
+  switch (op.kind) {
+    case GateKind::kI: break;
+    case GateKind::kX: result.x(op.qubits[0]); break;
+    case GateKind::kY: result.y(op.qubits[0]); break;
+    case GateKind::kZ: result.z(op.qubits[0]); break;
+    case GateKind::kH: result.h(op.qubits[0]); break;
+    case GateKind::kS: result.s(op.qubits[0]); break;
+    case GateKind::kSdg: result.sdg(op.qubits[0]); break;
+    case GateKind::kT: result.t(op.qubits[0]); break;
+    case GateKind::kTdg: result.tdg(op.qubits[0]); break;
+    case GateKind::kRX:
+      trainable ? result.rx(op.qubits[0], ParamRef{op.param_ids[0]})
+                : result.rx(op.qubits[0], op.literals[0]);
+      break;
+    case GateKind::kRY:
+      trainable ? result.ry(op.qubits[0], ParamRef{op.param_ids[0]})
+                : result.ry(op.qubits[0], op.literals[0]);
+      break;
+    case GateKind::kRZ:
+      trainable ? result.rz(op.qubits[0], ParamRef{op.param_ids[0]})
+                : result.rz(op.qubits[0], op.literals[0]);
+      break;
+    case GateKind::kPhase:
+      result.phase(op.qubits[0], op.literals[0]);
+      break;
+    case GateKind::kU3:
+      trainable ? result.u3(op.qubits[0], ParamRef{op.param_ids[0]})
+                : result.u3(op.qubits[0], op.literals[0], op.literals[1],
+                            op.literals[2]);
+      break;
+    case GateKind::kCX: result.cx(op.qubits[0], op.qubits[1]); break;
+    case GateKind::kCZ: result.cz(op.qubits[0], op.qubits[1]); break;
+    case GateKind::kCRY:
+      trainable ? result.cry(op.qubits[0], op.qubits[1], ParamRef{op.param_ids[0]})
+                : result.cry(op.qubits[0], op.qubits[1], op.literals[0]);
+      break;
+    case GateKind::kCU3:
+      trainable ? result.cu3(op.qubits[0], op.qubits[1], ParamRef{op.param_ids[0]})
+                : result.cu3(op.qubits[0], op.qubits[1], op.literals[0],
+                             op.literals[1], op.literals[2]);
+      break;
+    case GateKind::kSWAP: result.swap(op.qubits[0], op.qubits[1]); break;
+  }
+}
+
 /// One pass; returns true if anything changed.
 bool pass(std::vector<std::optional<Op>>& ops, const OptimizeOptions& opt,
           OptimizeStats& stats) {
@@ -125,58 +173,159 @@ Circuit optimize_circuit(const Circuit& circuit, const OptimizeOptions& options,
   Circuit result(circuit.num_qubits());
   if (circuit.num_params() > 0)
     (void)result.new_params(static_cast<std::uint32_t>(circuit.num_params()));
-  for (const auto& maybe_op : ops) {
-    if (!maybe_op) continue;
-    const Op& op = *maybe_op;
-    const bool trainable = op.param_ids[0] != kLiteralParam;
-    switch (op.kind) {
-      case GateKind::kI: break;
-      case GateKind::kX: result.x(op.qubits[0]); break;
-      case GateKind::kY: result.y(op.qubits[0]); break;
-      case GateKind::kZ: result.z(op.qubits[0]); break;
-      case GateKind::kH: result.h(op.qubits[0]); break;
-      case GateKind::kS: result.s(op.qubits[0]); break;
-      case GateKind::kSdg: result.sdg(op.qubits[0]); break;
-      case GateKind::kT: result.t(op.qubits[0]); break;
-      case GateKind::kTdg: result.tdg(op.qubits[0]); break;
-      case GateKind::kRX:
-        trainable ? result.rx(op.qubits[0], ParamRef{op.param_ids[0]})
-                  : result.rx(op.qubits[0], op.literals[0]);
-        break;
-      case GateKind::kRY:
-        trainable ? result.ry(op.qubits[0], ParamRef{op.param_ids[0]})
-                  : result.ry(op.qubits[0], op.literals[0]);
-        break;
-      case GateKind::kRZ:
-        trainable ? result.rz(op.qubits[0], ParamRef{op.param_ids[0]})
-                  : result.rz(op.qubits[0], op.literals[0]);
-        break;
-      case GateKind::kPhase:
-        result.phase(op.qubits[0], op.literals[0]);
-        break;
-      case GateKind::kU3:
-        trainable ? result.u3(op.qubits[0], ParamRef{op.param_ids[0]})
-                  : result.u3(op.qubits[0], op.literals[0], op.literals[1],
-                              op.literals[2]);
-        break;
-      case GateKind::kCX: result.cx(op.qubits[0], op.qubits[1]); break;
-      case GateKind::kCZ: result.cz(op.qubits[0], op.qubits[1]); break;
-      case GateKind::kCRY:
-        trainable ? result.cry(op.qubits[0], op.qubits[1], ParamRef{op.param_ids[0]})
-                  : result.cry(op.qubits[0], op.qubits[1], op.literals[0]);
-        break;
-      case GateKind::kCU3:
-        trainable ? result.cu3(op.qubits[0], op.qubits[1], ParamRef{op.param_ids[0]})
-                  : result.cu3(op.qubits[0], op.qubits[1], op.literals[0],
-                               op.literals[1], op.literals[2]);
-        break;
-      case GateKind::kSWAP: result.swap(op.qubits[0], op.qubits[1]); break;
-    }
-  }
+  for (const auto& maybe_op : ops)
+    if (maybe_op) emit_op(result, *maybe_op);
 
   stats.ops_after = result.num_ops();
   if (stats_out) *stats_out = stats;
   return result;
+}
+
+namespace {
+
+Mat2 matmul(const Mat2& a, const Mat2& b) {
+  Mat2 r;
+  r(0, 0) = a(0, 0) * b(0, 0) + a(0, 1) * b(1, 0);
+  r(0, 1) = a(0, 0) * b(0, 1) + a(0, 1) * b(1, 1);
+  r(1, 0) = a(1, 0) * b(0, 0) + a(1, 1) * b(1, 0);
+  r(1, 1) = a(1, 0) * b(0, 1) + a(1, 1) * b(1, 1);
+  return r;
+}
+
+/// True for a literal (non-trainable) single-qubit op that participates in
+/// run fusion. SWAP and controlled gates are two-qubit; trainable angles
+/// are unknown at fusion time.
+bool is_fusable_1q(const Op& op) {
+  if (gate_qubit_count(op.kind) != 1) return false;
+  return op.param_ids[0] == kLiteralParam && op.param_ids[1] == kLiteralParam &&
+         op.param_ids[2] == kLiteralParam;
+}
+
+/// A run being accumulated on one qubit.
+struct PendingRun {
+  Mat2 product{};          ///< U_k ... U_1 (later gates multiply on the left)
+  std::size_t count = 0;
+  std::size_t first_pos = 0;  ///< index of the run's first op in the stream
+};
+
+/// Emit the fused replacement for a run of `count >= 2` gates whose product
+/// is `m` (unitary): a single Phase when the product is exactly diagonal,
+/// otherwise a single U3. The representative drops a global phase, which
+/// cannot affect probabilities or expectations.
+Op fused_op(const Mat2& m, Index q, FuseStats& stats) {
+  Op op;
+  op.qubits = {q, q};
+  if (m(0, 1) == Complex{0, 0} && m(1, 0) == Complex{0, 0}) {
+    // Diagonal product: diag(d0, d1) = d0 * diag(1, d1/d0) -> Phase gate,
+    // which the executor routes to the phase-only kernel.
+    op.kind = GateKind::kPhase;
+    op.literals[0] = std::arg(m(1, 1) / m(0, 0));
+    ++stats.merged_diagonal_runs;
+    return op;
+  }
+  op.kind = GateKind::kU3;
+  ++stats.fused_runs;
+  if (m(0, 0) == Complex{0, 0} && m(1, 1) == Complex{0, 0}) {
+    // Anti-diagonal product: u3(pi, phi, lambda) = [[0, -e^il], [e^ip, 0]].
+    op.literals[0] = kPi;
+    op.literals[1] = std::arg(m(1, 0));
+    op.literals[2] = std::arg(-m(0, 1));
+    return op;
+  }
+  // General unitary: m = e^{i alpha} u3(theta, phi, lambda) with
+  // alpha = arg(m00); theta from the column norms, phi/lambda from the
+  // off-diagonal arguments relative to alpha.
+  const Real alpha = std::arg(m(0, 0));
+  op.literals[0] = 2 * std::atan2(std::abs(m(1, 0)), std::abs(m(0, 0)));
+  op.literals[1] = std::arg(m(1, 0)) - alpha;
+  op.literals[2] = std::arg(-m(0, 1)) - alpha;
+  return op;
+}
+
+}  // namespace
+
+bool has_fusable_runs(const Circuit& circuit) {
+  // Mirrors fuse_gate_runs' run tracking: a run survives ops on other
+  // qubits and ends at any non-fusable op touching its qubit.
+  std::vector<unsigned char> open(circuit.num_qubits(), 0);
+  for (const Op& op : circuit.ops()) {
+    if (is_fusable_1q(op)) {
+      if (open[op.qubits[0]]) return true;
+      open[op.qubits[0]] = 1;
+    } else {
+      open[op.qubits[0]] = 0;
+      if (gate_qubit_count(op.kind) == 2) open[op.qubits[1]] = 0;
+    }
+  }
+  return false;
+}
+
+Circuit fuse_gate_runs(const Circuit& circuit, FuseStats* stats_out) {
+  FuseStats stats;
+  stats.ops_before = circuit.num_ops();
+
+  // Nothing to fuse (e.g. the all-trainable ansatz): hand back a verbatim
+  // copy without staging the op stream.
+  if (!has_fusable_runs(circuit)) {
+    stats.ops_after = circuit.num_ops();
+    if (stats_out) *stats_out = stats;
+    return circuit;
+  }
+
+  const auto ops = circuit.ops();
+  // Slot i holds what the rewritten stream emits at position i. A fused run
+  // lands at its first op's position; ops between run members act on other
+  // qubits, so they commute with the run and the placement is exact.
+  std::vector<std::optional<Op>> out(ops.size());
+  std::vector<PendingRun> pending(circuit.num_qubits());
+
+  auto flush = [&](Index q) {
+    PendingRun& run = pending[q];
+    if (run.count == 0) return;
+    if (run.count == 1) {
+      out[run.first_pos] = ops[run.first_pos];  // untouched single op
+    } else {
+      out[run.first_pos] = fused_op(run.product, q, stats);
+    }
+    run.count = 0;
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (is_fusable_1q(op)) {
+      const Index q = op.qubits[0];
+      PendingRun& run = pending[q];
+      const Mat2 u = gate_matrix(op.kind, Circuit::resolve_params(op, {}));
+      if (run.count == 0) {
+        run.product = u;
+        run.first_pos = i;
+        run.count = 1;
+      } else {
+        run.product = matmul(u, run.product);
+        ++run.count;
+      }
+      continue;
+    }
+    // Any other op ends the run on every qubit it touches.
+    flush(op.qubits[0]);
+    if (gate_qubit_count(op.kind) == 2) flush(op.qubits[1]);
+    out[i] = op;
+  }
+  for (Index q = 0; q < circuit.num_qubits(); ++q) flush(q);
+
+  Circuit result(circuit.num_qubits());
+  if (circuit.num_params() > 0)
+    (void)result.new_params(static_cast<std::uint32_t>(circuit.num_params()));
+  for (const auto& maybe_op : out)
+    if (maybe_op) emit_op(result, *maybe_op);
+
+  stats.ops_after = result.num_ops();
+  if (stats_out) *stats_out = stats;
+  return result;
+}
+
+Circuit canonicalize_for_backend(const Circuit& circuit) {
+  return fuse_gate_runs(circuit);
 }
 
 }  // namespace qugeo::qsim

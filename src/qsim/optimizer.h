@@ -3,6 +3,12 @@
 // untouched (their angles are not known at optimization time), so the pass
 // is safe to run on the synthesized encoder + ansatz pipeline before QASM
 // export or depth accounting.
+//
+// A second family of passes — single-qubit run fusion and diagonal-run
+// merging (fuse_gate_runs) — collapses every maximal run of literal
+// single-qubit gates on one qubit into a single U3 (or a single Phase when
+// the product is diagonal). Backends call canonicalize_for_backend before
+// executing so all of them benefit from the GateClass kernel dispatch.
 #pragma once
 
 #include "qsim/circuit.h"
@@ -30,5 +36,40 @@ struct OptimizeStats {
 [[nodiscard]] Circuit optimize_circuit(const Circuit& circuit,
                                        const OptimizeOptions& options = {},
                                        OptimizeStats* stats = nullptr);
+
+struct FuseStats {
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t fused_runs = 0;           ///< runs collapsed into one U3
+  std::size_t merged_diagonal_runs = 0; ///< runs collapsed into one Phase
+};
+
+/// Collapse every maximal run of >= 2 literal (non-trainable) single-qubit
+/// gates on one qubit into a single gate: a Phase op when the product is
+/// exactly diagonal (so the fast diagonal kernel executes it), otherwise a
+/// literal U3. Ops on other qubits may sit inside a run (they commute with
+/// it); trainable gates, SWAPs, and controlled gates touching the qubit end
+/// the run. The fused circuit equals the original up to an unobservable
+/// global phase per fused run; probabilities, expectations, and fidelities
+/// are preserved exactly. Circuits with no fusable runs are returned with
+/// an op-for-op identical stream (bit-identical execution).
+///
+/// Fusion does NOT preserve the gate COUNT, so it must not run before
+/// noisy execution: k fused gates would contribute one per-gate noise
+/// insertion point instead of k. Backends therefore canonicalize only
+/// their noiseless (unitary) paths.
+[[nodiscard]] Circuit fuse_gate_runs(const Circuit& circuit,
+                                     FuseStats* stats = nullptr);
+
+/// O(ops) probe with no allocations beyond a per-qubit flag: would
+/// fuse_gate_runs change this circuit at all? False for the all-trainable
+/// QuGeoVQC ansatz, letting backends run the original circuit by reference
+/// instead of copying a canonical form per execution.
+[[nodiscard]] bool has_fusable_runs(const Circuit& circuit);
+
+/// The canonicalization every Backend applies before executing a circuit:
+/// currently fuse_gate_runs. Kept as a named entry point so future
+/// backend-neutral rewrites (e.g. two-qubit run fusion) hook in one place.
+[[nodiscard]] Circuit canonicalize_for_backend(const Circuit& circuit);
 
 }  // namespace qugeo::qsim

@@ -1,9 +1,16 @@
-// OpenQASM 2.0 export, so synthesized encoders and the QuGeoVQC ansatz can
-// be inspected or handed to external toolchains.
+// OpenQASM 2.0 export/import, so synthesized encoders and the QuGeoVQC
+// ansatz can be inspected, handed to external toolchains, or read back.
+//
+// Export covers every GateKind, including the controlled rotations and
+// SWAP: gates missing from qelib1.inc (`p`, `cry`) get a one-line `gate`
+// definition in the preamble, emitted only when the circuit uses them.
+// from_qasm parses the same dialect back into a Circuit (angles become
+// literals), giving a round-trip for trained-circuit snapshots.
 #pragma once
 
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "qsim/circuit.h"
 
@@ -13,5 +20,11 @@ namespace qugeo::qsim {
 /// against `params` (pass the trained table; must cover num_params()).
 [[nodiscard]] std::string to_qasm(const Circuit& circuit,
                                   std::span<const Real> params);
+
+/// Parse the dialect to_qasm emits (qelib1 gate set + the preamble-defined
+/// `p` and `cry`) back into a Circuit. All angles become literal constants;
+/// `id` ops vanish (they have no builder and no effect). Throws
+/// std::invalid_argument on malformed input or unsupported statements.
+[[nodiscard]] Circuit from_qasm(std::string_view text);
 
 }  // namespace qugeo::qsim

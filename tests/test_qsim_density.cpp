@@ -2,6 +2,8 @@
 // exact channel properties, and consistency with the trajectory sampler.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "qsim/density_matrix.h"
 #include "qsim/encoding.h"
@@ -96,7 +98,6 @@ TEST(DensityMatrix, DepolarizingZContraction) {
 TEST(DensityMatrix, TrajectoryAverageConvergesToExactChannel) {
   // The Pauli-twirl trajectory sampler must agree with the exact channel
   // in expectation.
-  Rng rng(3);
   Circuit c(2);
   c.h(0);
   c.ry(1, 0.8);
@@ -109,9 +110,63 @@ TEST(DensityMatrix, TrajectoryAverageConvergesToExactChannel) {
 
   const std::vector<Index> qubits = {0, 1};
   const auto z_traj = noisy_expect_z(c, {}, StateVector(2), qubits,
-                                     NoiseModel{p}, rng, 4000);
+                                     NoiseModel{p}, 3, 4000);
   EXPECT_NEAR(z_traj[0], rho.expect_z(0), 0.05);
   EXPECT_NEAR(z_traj[1], rho.expect_z(1), 0.05);
+}
+
+TEST(DensityMatrix, KrausChannelMatchesUnitaryConjugation) {
+  // A single unitary Kraus operator reduces to apply_1q.
+  Rng rng(9);
+  const Circuit c = random_circuit(3, 12, rng);
+  DensityMatrix a(3), b(3);
+  run_circuit_density(c, {}, a, 0.0);
+  run_circuit_density(c, {}, b, 0.0);
+  const Mat2 u = u3_matrix(0.7, -0.3, 1.1);
+  a.apply_1q(u, 1);
+  b.apply_kraus(std::span<const Mat2>(&u, 1), 1);
+  for (Index r = 0; r < a.dim(); ++r)
+    for (Index col = 0; col < a.dim(); ++col)
+      ASSERT_NEAR(std::abs(a.element(r, col) - b.element(r, col)), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, KrausDepolarizingMatchesClosedForm) {
+  // The four-operator depolarizing Kraus set must reproduce the in-place
+  // depolarize() channel exactly.
+  const Real p = 0.12;
+  Rng rng(10);
+  const Circuit c = random_circuit(2, 10, rng);
+  DensityMatrix a(2), b(2);
+  run_circuit_density(c, {}, a, 0.0);
+  run_circuit_density(c, {}, b, 0.0);
+
+  const Real k0 = std::sqrt(1 - p), kp = std::sqrt(p / 3);
+  const Mat2 kraus[4] = {
+      Mat2{{Complex{k0, 0}, Complex{0, 0}, Complex{0, 0}, Complex{k0, 0}}},
+      Mat2{{Complex{0, 0}, Complex{kp, 0}, Complex{kp, 0}, Complex{0, 0}}},
+      Mat2{{Complex{0, 0}, Complex{0, -kp}, Complex{0, kp}, Complex{0, 0}}},
+      Mat2{{Complex{kp, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-kp, 0}}}};
+  a.depolarize(0, p);
+  b.apply_kraus(kraus, 0);
+  for (Index r = 0; r < a.dim(); ++r)
+    for (Index col = 0; col < a.dim(); ++col)
+      ASSERT_NEAR(std::abs(a.element(r, col) - b.element(r, col)), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ResetAndSetFromState) {
+  Rng rng(11);
+  StateVector psi(2);
+  std::vector<Real> data(4);
+  rng.fill_uniform(data, -1, 1);
+  encode_amplitudes(data, psi);
+  DensityMatrix rho(2);
+  rho.apply_1q(gate_matrix(GateKind::kH, {}), 0);
+  rho.set_from_state(psi);
+  const auto probs = rho.probabilities();
+  for (Index k = 0; k < 4; ++k) EXPECT_NEAR(probs[k], psi.probability(k), 1e-12);
+  rho.reset();
+  EXPECT_NEAR(rho.probabilities()[0], 1.0, 1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
 }
 
 TEST(DensityMatrix, SwapConjugation) {

@@ -2,6 +2,7 @@
 // strong noise contracts <Z> toward zero; determinism under a fixed seed.
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "qsim/executor.h"
 #include "qsim/noise.h"
@@ -43,9 +44,8 @@ TEST(Noise, DepolarizingContractsZ) {
   Circuit c(1);
   for (int i = 0; i < 10; ++i) c.rz(0, 0.0);  // 10 noise insertion points
   StateVector psi0(1);
-  Rng rng(3);
   const std::vector<Index> qubits = {0};
-  const auto z = noisy_expect_z(c, {}, psi0, qubits, NoiseModel{0.2}, rng, 400);
+  const auto z = noisy_expect_z(c, {}, psi0, qubits, NoiseModel{0.2}, 3, 400);
   EXPECT_LT(std::abs(z[0]), 0.6);
   EXPECT_GT(z[0], -0.3);
 }
@@ -63,12 +63,47 @@ TEST(Noise, MildNoiseDegradesGracefully) {
   const Circuit c = small_circuit();
   StateVector exact(2);
   run_circuit(c, {}, exact);
-  Rng rng(5);
   const std::vector<Index> qubits = {0, 1};
   const auto z_mild =
-      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.01}, rng, 600);
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.01}, 5, 600);
   EXPECT_NEAR(z_mild[0], exact.expect_z(0), 0.15);
   EXPECT_NEAR(z_mild[1], exact.expect_z(1), 0.15);
+}
+
+TEST(Noise, TrajectoryStreamsIndependentOfThreadCount) {
+  // Per-trajectory (seed, index) sub-streams + fixed-order reduction make
+  // the average bit-identical for any pool size.
+  const Circuit c = small_circuit();
+  const std::vector<Index> qubits = {0, 1};
+  set_num_threads(1);
+  const auto z1 =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.1}, 7, 64);
+  set_num_threads(4);
+  const auto z4 =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.1}, 7, 64);
+  set_num_threads(0);
+  ASSERT_EQ(z1.size(), z4.size());
+  for (std::size_t i = 0; i < z1.size(); ++i) EXPECT_EQ(z1[i], z4[i]);
+}
+
+TEST(Noise, SameSeedSameAverageDifferentSeedDiffers) {
+  const Circuit c = small_circuit();
+  const std::vector<Index> qubits = {0};
+  const auto a =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.2}, 11, 32);
+  const auto b =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.2}, 11, 32);
+  const auto other =
+      noisy_expect_z(c, {}, StateVector(2), qubits, NoiseModel{0.2}, 12, 32);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[0], other[0]);
+}
+
+TEST(Noise, TrajectoryRngStreamsAreDecorrelated) {
+  // Adjacent trajectory indices must not produce correlated first draws.
+  Rng r0 = trajectory_rng(123, 0);
+  Rng r1 = trajectory_rng(123, 1);
+  EXPECT_NE(r0.next_u64(), r1.next_u64());
 }
 
 }  // namespace
