@@ -54,7 +54,7 @@ BENCHMARK(BM_StatevectorBackendForward)->Arg(4)->Arg(8);
 void BM_DensityBackendForward(benchmark::State& state) {
   qsim::ExecutionConfig cfg;
   cfg.backend = qsim::BackendKind::kDensityMatrix;
-  cfg.noise.depolarizing_prob = 0.01;
+  cfg.noise.gate_error_prob = 0.01;
   run_backend_bench(state, cfg, static_cast<Index>(state.range(0)), 4);
 }
 BENCHMARK(BM_DensityBackendForward)->Arg(4)->Arg(8);
@@ -63,7 +63,7 @@ void BM_TrajectoryBackendForward(benchmark::State& state) {
   // Arg = trajectory count on the 8-qubit paper ansatz.
   qsim::ExecutionConfig cfg;
   cfg.backend = qsim::BackendKind::kTrajectory;
-  cfg.noise.depolarizing_prob = 0.01;
+  cfg.noise.gate_error_prob = 0.01;
   cfg.trajectories = static_cast<std::size_t>(state.range(0));
   run_backend_bench(state, cfg, 8, 4);
 }

@@ -21,8 +21,9 @@ struct ExperimentSpec {
   std::size_t blocks = 12;
   std::size_t entangle_every = 3;
   std::uint64_t init_seed = 42;
-  /// Simulation backend for the model's inference path (threading through
-  /// ModelConfig; training gradients stay on the adjoint statevector).
+  /// Simulation backend, NoiseModel channels, and shot budget for the
+  /// model's inference path (threading through ModelConfig; training
+  /// gradients stay on the adjoint statevector).
   qsim::ExecutionConfig execution;
 };
 

@@ -47,22 +47,36 @@ qsim::StateVector QuGeoModel::run_forward(
 
 std::vector<Real> QuGeoModel::run_forward_probabilities(
     std::span<const data::ScaledSample* const> chunk,
-    std::uint64_t stream) const {
+    const qsim::ExecutionConfig& exec, std::uint64_t stream) const {
   std::vector<const std::vector<Real>*> waves(chunk.size());
   for (std::size_t i = 0; i < chunk.size(); ++i) waves[i] = &chunk[i]->waveform;
   // Backends are stateful and not thread-safe; predict fans chunks across
   // the pool, so each chunk drives its own instance. The chunk index (not
-  // the thread) salts the trajectory seed, so results stay deterministic
-  // for any pool size while noise realizations differ across chunks.
-  qsim::ExecutionConfig exec = exec_;
-  exec.seed += 0x9e3779b97f4a7c15ULL * stream;
-  const auto backend = qsim::make_backend(exec, layout_.total_qubits());
+  // the thread) salts the trajectory/shot seed, so results stay
+  // deterministic for any pool size while noise realizations differ
+  // across chunks. The salt is a full splitmix64 finalizer, NOT the bare
+  // golden-ratio increment: trajectory_rng/shot_rng derive sub-stream t of
+  // chunk i as seed(i) + G*(t+1), so a linear G*i salt would make chunk
+  // i's trajectory t collide with chunk i+1's trajectory t-1 — adjacent
+  // samples would see nearly identical noise realizations.
+  qsim::ExecutionConfig chunk_exec = exec;
+  std::uint64_t z = exec.seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  chunk_exec.seed = z ^ (z >> 31);
+  const auto backend = qsim::make_backend(chunk_exec, layout_.total_qubits());
   backend->run(ansatz_, theta_, encoder_.encode(waves));
   return backend->probabilities();
 }
 
 std::vector<std::vector<Real>> QuGeoModel::predict(
     std::span<const data::ScaledSample* const> samples) const {
+  return predict_with(samples, exec_);
+}
+
+std::vector<std::vector<Real>> QuGeoModel::predict_with(
+    std::span<const data::ScaledSample* const> samples,
+    const qsim::ExecutionConfig& exec) const {
   const std::size_t bs = batch_size();
   const std::size_t num_chunks = (samples.size() + bs - 1) / bs;
   // QuBatch chunks are independent circuit executions; fan them out across
@@ -74,7 +88,7 @@ std::vector<std::vector<Real>> QuGeoModel::predict(
     std::vector<const data::ScaledSample*> chunk(bs);
     for (std::size_t b = 0; b < bs; ++b)
       chunk[b] = samples[std::min(pos + b, samples.size() - 1)];
-    const std::vector<Real> probs = run_forward_probabilities(chunk, ci);
+    const std::vector<Real> probs = run_forward_probabilities(chunk, exec, ci);
     DecodeResult dec = decoder_->decode(std::span<const Real>(probs));
     for (std::size_t b = 0; b < bs && pos + b < samples.size(); ++b)
       out[pos + b] = std::move(dec.predictions[b]);

@@ -12,7 +12,9 @@
 // the simulation backend for the inference/readout path (predict). The
 // default — noiseless statevector — reproduces the pre-backend pipeline
 // bit-identically; the density-matrix and trajectory backends run the same
-// pipeline under exact or sampled depolarizing noise (the NISQ ablation).
+// pipeline under exact or sampled NoiseModel channels (the NISQ ablation),
+// and a positive `shots` budget reads every expectation from sampled
+// measurements (ShotBackend) instead of exact probabilities.
 // Training gradients (loss_and_gradient) always use the exact noiseless
 // statevector + adjoint path, mirroring the paper's noiseless training; the
 // backend choice governs how the trained model is *read out*.
@@ -44,8 +46,9 @@ struct ModelConfig {
   std::size_t vel_cols = 8;
   Real param_init_range = 0.1;  ///< angles ~ U(-r, r) at initialization
   /// Simulation backend for the inference path (see header comment). The
-  /// constructor applies QUGEO_BACKEND / QUGEO_NOISE_P / QUGEO_TRAJECTORIES
-  /// environment overrides on top of this.
+  /// constructor applies the QUGEO_BACKEND / QUGEO_NOISE_P /
+  /// QUGEO_NOISE_CHANNEL / QUGEO_READOUT_P / QUGEO_TRAJECTORIES /
+  /// QUGEO_SHOTS environment overrides on top of this.
   qsim::ExecutionConfig execution;
 };
 
@@ -81,6 +84,13 @@ class QuGeoModel {
   [[nodiscard]] std::vector<std::vector<Real>> predict(
       std::span<const data::ScaledSample* const> samples) const;
 
+  /// As predict, but through an explicit ExecutionConfig instead of the
+  /// model's configured one — the one-off form the shot/noise ablations
+  /// use (core/shot_readout delegates here).
+  [[nodiscard]] std::vector<std::vector<Real>> predict_with(
+      std::span<const data::ScaledSample* const> samples,
+      const qsim::ExecutionConfig& exec) const;
+
   /// Sum-of-squares loss (Eq. 2 / Eq. 3) and gradient over one QuBatch
   /// chunk of exactly batch_size() samples. Gradients are ADDED into
   /// `grad_out` (size num_params()). Returns the summed loss.
@@ -96,13 +106,13 @@ class QuGeoModel {
       std::span<const data::ScaledSample* const> chunk) const;
 
   /// Backend-driven forward pass: encode, execute on a fresh backend from
-  /// exec_, return the Born probabilities (inference path). `stream` salts
-  /// the trajectory-backend seed per QuBatch chunk so different samples
+  /// `exec`, return the Born probabilities (inference path). `stream`
+  /// salts the trajectory/shot seed per QuBatch chunk so different samples
   /// see independent noise realizations (sampling error then averages out
   /// across a dataset instead of being perfectly correlated).
   [[nodiscard]] std::vector<Real> run_forward_probabilities(
       std::span<const data::ScaledSample* const> chunk,
-      std::uint64_t stream) const;
+      const qsim::ExecutionConfig& exec, std::uint64_t stream) const;
 
   ModelConfig config_;
   qsim::ExecutionConfig exec_;

@@ -1,23 +1,29 @@
 #include "core/shot_readout.h"
 
+#include <bit>
 #include <stdexcept>
 
-#include "core/encoder.h"
-#include "qsim/executor.h"
+#include "qsim/shots.h"
 
 namespace qugeo::core {
+namespace {
+
+/// Qubit count of a full-basis CDF (its length is 2^n by contract).
+Index qubits_from_cdf(std::span<const Real> cdf) {
+  if (cdf.empty() || (cdf.size() & (cdf.size() - 1)) != 0)
+    throw std::invalid_argument("shot_readout: cdf length must be 2^n");
+  return static_cast<Index>(std::countr_zero(cdf.size()));
+}
+
+}  // namespace
 
 std::vector<Real> estimate_z_from_cdf(std::span<const Real> cdf,
                                       std::span<const Index> qubits, Rng& rng,
                                       std::size_t shots) {
   if (shots == 0) throw std::invalid_argument("estimate_z_from_cdf: 0 shots");
-  const auto samples = qsim::StateVector::sample_from_cdf(cdf, rng, shots);
-  std::vector<Real> z(qubits.size(), Real(0));
-  for (Index outcome : samples)
-    for (std::size_t i = 0; i < qubits.size(); ++i)
-      z[i] += ((outcome >> qubits[i]) & 1) ? Real(-1) : Real(1);
-  for (Real& v : z) v /= static_cast<Real>(shots);
-  return z;
+  const auto probs = qsim::sampled_probabilities_from_cdf(
+      cdf, qubits_from_cdf(cdf), rng.next_u64(), shots);
+  return qsim::expect_z_from_probabilities(probs, qubits);
 }
 
 std::vector<Real> estimate_z_from_shots(const qsim::StateVector& psi,
@@ -32,16 +38,9 @@ std::vector<Real> estimate_marginal_from_cdf(std::span<const Real> cdf,
                                              Rng& rng, std::size_t shots) {
   if (shots == 0)
     throw std::invalid_argument("estimate_marginal_from_cdf: 0 shots");
-  const auto samples = qsim::StateVector::sample_from_cdf(cdf, rng, shots);
-  std::vector<Real> m(Index{1} << qubits.size(), Real(0));
-  for (Index outcome : samples) {
-    Index out = 0;
-    for (std::size_t i = 0; i < qubits.size(); ++i)
-      if ((outcome >> qubits[i]) & 1) out |= Index{1} << i;
-    m[out] += Real(1);
-  }
-  for (Real& v : m) v /= static_cast<Real>(shots);
-  return m;
+  const auto probs = qsim::sampled_probabilities_from_cdf(
+      cdf, qubits_from_cdf(cdf), rng.next_u64(), shots);
+  return qsim::marginal_from_probabilities(probs, qubits);
 }
 
 std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
@@ -56,38 +55,11 @@ std::vector<Real> estimate_marginal_from_shots(const qsim::StateVector& psi,
 std::vector<std::vector<Real>> predict_with_shots(
     const QuGeoModel& model, std::span<const data::ScaledSample* const> samples,
     Rng& rng, std::size_t shots) {
-  if (model.batch_size() != 1)
-    throw std::invalid_argument("predict_with_shots: unbatched models only");
-  if (model.config().decoder != DecoderKind::kLayer)
-    throw std::invalid_argument("predict_with_shots: layer decoder only");
-
-  const QubitLayout& layout = model.layout();
-  const StEncoder encoder(layout);
-  const auto params = model.parameters();
-  const std::size_t rows = model.config().vel_rows;
-  const std::size_t cols = model.config().vel_cols;
-  const auto& row_qubits = layout.data_qubits();
-  const std::size_t nq = model.num_quantum_params();
-
-  std::vector<std::vector<Real>> out;
-  out.reserve(samples.size());
-  for (const data::ScaledSample* s : samples) {
-    qsim::StateVector psi = encoder.encode_single(s->waveform);
-    qsim::run_circuit(model.ansatz(), std::span<const Real>(params).first(nq),
-                      psi);
-    const auto z = estimate_z_from_shots(
-        psi, std::span<const Index>(row_qubits.data(), rows), rng, shots);
-    std::vector<Real> map(rows * cols);
-    for (std::size_t i = 0; i < rows; ++i) {
-      // Same affine calibration the exact LayerDecoder applies.
-      const Real a = params[nq + i];
-      const Real b = params[nq + rows + i];
-      const Real v = a * (Real(1) + z[i]) / 2 + b;
-      for (std::size_t j = 0; j < cols; ++j) map[i * cols + j] = v;
-    }
-    out.push_back(std::move(map));
-  }
-  return out;
+  if (shots == 0) throw std::invalid_argument("predict_with_shots: 0 shots");
+  qsim::ExecutionConfig exec = model.execution_config();
+  exec.shots = shots;
+  exec.seed = rng.next_u64();
+  return model.predict_with(samples, exec);
 }
 
 EvalMetrics evaluate_model_with_shots(const QuGeoModel& model,

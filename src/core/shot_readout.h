@@ -1,9 +1,14 @@
 // Shot-based (sampled) readout: on hardware the decoder expectations are
 // estimated from a finite number of measurement shots, not read exactly
-// from the state vector. This module emulates that: sample basis states
-// from the Born distribution, build empirical <Z>/marginal estimates, and
-// decode velocity maps from them — quantifying the shot budget the paper's
-// deployment scenario would need.
+// from the state vector.
+//
+// Since the ShotBackend landed, the actual sampling lives in one audited
+// subsystem (qsim/shots.h, wrapped by qsim::ShotBackend and selected via
+// ExecutionConfig::shots); these functions are thin delegating wrappers
+// kept for their convenient Rng-based signatures. They produce
+// byte-identical estimates to direct ShotBackend calls for the same seed
+// (pinned by test_core_shot_readout) — each call consumes one 64-bit draw
+// from `rng` as the sampling seed.
 #pragma once
 
 #include <span>
@@ -36,8 +41,10 @@ namespace qugeo::core {
     std::span<const Real> cdf, std::span<const Index> qubits, Rng& rng,
     std::size_t shots);
 
-/// Predict velocity maps with a trained Q-M-LY style model using sampled
-/// readout instead of exact expectations (unbatched models only).
+/// Predict velocity maps with a trained model using sampled readout
+/// instead of exact expectations: the model's configured ExecutionConfig
+/// with the shot budget and a fresh seed applied (QuGeoModel::predict_with
+/// does the rest — any decoder, any QuBatch size).
 [[nodiscard]] std::vector<std::vector<Real>> predict_with_shots(
     const QuGeoModel& model, std::span<const data::ScaledSample* const> samples,
     Rng& rng, std::size_t shots);

@@ -7,8 +7,9 @@
 // Gradients always come from the exact adjoint statevector pass; the
 // per-epoch evaluation (evaluate_model -> predict) runs through the
 // model's configured qsim::ExecutionConfig backend, so training curves can
-// be recorded under exact-channel or trajectory noise without touching
-// this file.
+// be recorded under exact-channel or trajectory noise — or from a finite
+// measurement budget (ExecutionConfig::shots) — without touching this
+// file.
 #pragma once
 
 #include <cstdint>

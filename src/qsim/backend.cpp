@@ -7,14 +7,28 @@
 #include "common/parallel.h"
 #include "qsim/executor.h"
 #include "qsim/optimizer.h"
+#include "qsim/shots.h"
 
 namespace qugeo::qsim {
+namespace {
+
+Real parse_env_probability(const char* name, const char* value) {
+  char* end = nullptr;
+  const Real v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || v < 0 || v > 1)
+    throw std::invalid_argument(std::string(name) +
+                                ": expected a probability, got '" + value + "'");
+  return v;
+}
+
+}  // namespace
 
 std::string_view backend_name(BackendKind kind) noexcept {
   switch (kind) {
     case BackendKind::kStatevector: return "statevector";
     case BackendKind::kDensityMatrix: return "density";
     case BackendKind::kTrajectory: return "trajectory";
+    case BackendKind::kShot: return "shot";
   }
   return "?";
 }
@@ -25,6 +39,7 @@ std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept {
     return BackendKind::kDensityMatrix;
   if (name == "trajectory" || name == "trajectories")
     return BackendKind::kTrajectory;
+  if (name == "shot" || name == "shots") return BackendKind::kShot;
   return std::nullopt;
 }
 
@@ -36,14 +51,17 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
                                   kind + "'");
     base.backend = *parsed;
   }
-  if (const char* p = std::getenv("QUGEO_NOISE_P")) {
-    char* end = nullptr;
-    const Real v = std::strtod(p, &end);
-    if (end == p || *end != '\0' || v < 0 || v > 1)
+  if (const char* p = std::getenv("QUGEO_NOISE_P"))
+    base.noise.gate_error_prob = parse_env_probability("QUGEO_NOISE_P", p);
+  if (const char* ch = std::getenv("QUGEO_NOISE_CHANNEL")) {
+    const auto parsed = parse_noise_channel(ch);
+    if (!parsed)
       throw std::invalid_argument(
-          std::string("QUGEO_NOISE_P: expected a probability, got '") + p + "'");
-    base.noise.depolarizing_prob = v;
+          std::string("QUGEO_NOISE_CHANNEL: unknown channel '") + ch + "'");
+    base.noise.channel = *parsed;
   }
+  if (const char* r = std::getenv("QUGEO_READOUT_P"))
+    base.noise.readout_error = parse_env_probability("QUGEO_READOUT_P", r);
   if (const char* t = std::getenv("QUGEO_TRAJECTORIES")) {
     char* end = nullptr;
     const long n = std::strtol(t, &end, 10);
@@ -52,6 +70,15 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
           std::string("QUGEO_TRAJECTORIES: expected a positive integer, got '") +
           t + "'");
     base.trajectories = static_cast<std::size_t>(n);
+  }
+  if (const char* s = std::getenv("QUGEO_SHOTS")) {
+    char* end = nullptr;
+    const long n = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || n < 0)
+      throw std::invalid_argument(
+          std::string("QUGEO_SHOTS: expected a non-negative integer, got '") +
+          s + "'");
+    base.shots = static_cast<std::size_t>(n);
   }
   return base;
 }
@@ -119,12 +146,15 @@ void DensityMatrixBackend::run(const Circuit& circuit,
     rho_.emplace(initial_state.num_qubits());
   rho_->set_from_state(initial_state);
   // Run fusion collapses k literal gates into one, which would also
-  // collapse their k per-gate noise insertion points into one; with the
-  // channel active the original op stream must execute verbatim.
-  if (noise_.depolarizing_prob > 0 || !has_fusable_runs(circuit))
-    run_circuit_density(circuit, params, *rho_, noise_.depolarizing_prob);
+  // collapse their k per-gate noise insertion points into one; with a gate
+  // channel active the original op stream must execute verbatim. The
+  // readout channel has a single insertion point (the end of the circuit)
+  // and survives fusion unchanged.
+  if (noise_.has_gate_noise() || !has_fusable_runs(circuit))
+    run_circuit_density(circuit, params, *rho_, noise_);
   else
-    run_circuit_density(canonicalize_for_backend(circuit), params, *rho_, 0);
+    run_circuit_density(canonicalize_for_backend(circuit), params, *rho_,
+                        noise_);
 }
 
 std::vector<Real> DensityMatrixBackend::probabilities() const {
@@ -166,11 +196,14 @@ void TrajectoryBackend::run(const Circuit& circuit,
   num_qubits_ = initial_state.num_qubits();
   const Index dim = initial_state.dim();
 
-  // p = 0 makes every trajectory identical to the exact run; skip the
-  // fan-out entirely (env-driven smoke runs pay one statevector pass).
-  // Noisy runs execute the ORIGINAL op stream: run fusion would collapse
-  // per-gate noise insertion points (see DensityMatrixBackend::run).
-  if (noise_.depolarizing_prob <= 0) {
+  // A trivial NoiseModel makes every trajectory identical to the exact
+  // run; skip the fan-out entirely (env-driven smoke runs pay one
+  // statevector pass). Gate-noisy runs execute the ORIGINAL op stream: run
+  // fusion would collapse per-gate noise insertion points (see
+  // DensityMatrixBackend::run). Readout-only noise still samples per
+  // trajectory, but may fuse — its single insertion point is the end of
+  // the circuit.
+  if (noise_.is_trivial()) {
     StateVector psi = std::move(initial_state);
     if (has_fusable_runs(circuit))
       run_circuit(canonicalize_for_backend(circuit), params, psi);
@@ -219,36 +252,115 @@ std::vector<Real> TrajectoryBackend::probabilities() const {
 
 std::vector<Real> TrajectoryBackend::expect_z(
     std::span<const Index> qubits) const {
-  std::vector<Real> z(qubits.size(), Real(0));
-  for (std::size_t i = 0; i < qubits.size(); ++i) {
-    const Index mask = Index{1} << qubits[i];
-    for (Index k = 0; k < mean_probs_.size(); ++k)
-      z[i] += ((k & mask) ? Real(-1) : Real(1)) * mean_probs_[k];
+  return expect_z_from_probabilities(mean_probs_, qubits);
+}
+
+// ------------------------------------------------------------- ShotBackend --
+
+ShotBackend::ShotBackend(const ExecutionConfig& config,
+                         std::unique_ptr<Backend> inner)
+    : inner_(std::move(inner)),
+      shots_(config.shots),
+      readout_error_(config.noise.readout_error),
+      seed_(config.seed) {
+  if (!inner_)
+    throw std::invalid_argument("ShotBackend: null inner backend");
+  if (inner_->kind() == BackendKind::kShot)
+    throw std::invalid_argument("ShotBackend: cannot wrap another ShotBackend");
+}
+
+Index ShotBackend::num_qubits() const noexcept { return inner_->num_qubits(); }
+
+void ShotBackend::prepare(Index num_qubits) { inner_->prepare(num_qubits); }
+
+void ShotBackend::run(const Circuit& circuit, std::span<const Real> params,
+                      StateVector initial_state) {
+  inner_->run(circuit, params, std::move(initial_state));
+}
+
+std::vector<Real> ShotBackend::probabilities() const {
+  std::vector<Real> exact = inner_->probabilities();
+  if (shots_ == 0) {
+    // Exact pass-through — but the wrapper still owns the readout error
+    // (make_backend cleared it on the inner config), so realize it as the
+    // exact confusion matrix: the infinite-shot limit of the sampled
+    // flips. With no readout error this returns the inner output bitwise.
+    apply_readout_to_probabilities(exact, inner_->num_qubits(), readout_error_);
+    return exact;
   }
-  return z;
+  // Prefix sums in index order — the same accumulation
+  // StateVector::cumulative_probabilities performs, so the shot_readout
+  // wrappers sample a bit-identical CDF.
+  Real acc = 0;
+  for (Real& p : exact) {
+    acc += p;
+    p = acc;
+  }
+  return sampled_probabilities_from_cdf(exact, inner_->num_qubits(), seed_,
+                                        shots_, readout_error_);
+}
+
+std::vector<Real> ShotBackend::expect_z(std::span<const Index> qubits) const {
+  if (shots_ == 0 && readout_error_ <= 0) return inner_->expect_z(qubits);
+  return expect_z_from_probabilities(probabilities(), qubits);
 }
 
 // ----------------------------------------------------------------- factory --
 
 std::unique_ptr<Backend> make_backend(const ExecutionConfig& config,
                                       Index num_qubits) {
-  switch (config.backend) {
+  // A shot budget (or an explicit "shot" backend request) wraps the
+  // configured engine. The wrapper owns the readout error — it flips the
+  // sampled outcomes — so the inner engine runs with it cleared to keep
+  // exactly one realization of the channel.
+  const bool wrap = config.shots > 0 || config.backend == BackendKind::kShot;
+  ExecutionConfig inner_cfg = config;
+  if (wrap) {
+    inner_cfg.backend = config.backend == BackendKind::kShot
+                            ? BackendKind::kStatevector
+                            : config.backend;
+    inner_cfg.shots = 0;
+    inner_cfg.noise.readout_error = 0;
+  }
+
+  std::unique_ptr<Backend> inner;
+  switch (inner_cfg.backend) {
     case BackendKind::kStatevector:
-      return std::make_unique<StatevectorBackend>(config);
+      inner = std::make_unique<StatevectorBackend>(inner_cfg);
+      break;
     case BackendKind::kDensityMatrix:
       if (num_qubits > max_density_qubits()) {
-        if (config.noise.depolarizing_prob <= 0)
-          return std::make_unique<StatevectorBackend>(config);
+        if (inner_cfg.noise.is_trivial()) {
+          // Exact substitution: a trivial channel degenerates to unitary
+          // evolution, which the statevector computes at O(2^n).
+          inner = std::make_unique<StatevectorBackend>(inner_cfg);
+          break;
+        }
+        // Name the active channel: a statevector substitution would
+        // silently drop it, and each channel fails differently.
+        std::string channels;
+        if (inner_cfg.noise.has_gate_noise())
+          channels = std::string(noise_channel_name(inner_cfg.noise.channel));
+        if (inner_cfg.noise.has_readout_error())
+          channels += channels.empty() ? "readout" : "+readout";
         throw std::invalid_argument(
             "make_backend: density-matrix backend supports at most " +
             std::to_string(max_density_qubits()) + " qubits (requested " +
-            std::to_string(num_qubits) + " with noise enabled)");
+            std::to_string(num_qubits) + " with " + channels +
+            " noise enabled; the statevector substitution cannot realize "
+            "this channel exactly)");
       }
-      return std::make_unique<DensityMatrixBackend>(config);
+      inner = std::make_unique<DensityMatrixBackend>(inner_cfg);
+      break;
     case BackendKind::kTrajectory:
-      return std::make_unique<TrajectoryBackend>(config);
+      inner = std::make_unique<TrajectoryBackend>(inner_cfg);
+      break;
+    case BackendKind::kShot:
+      throw std::logic_error("make_backend: kShot cannot be an inner kind");
   }
-  throw std::invalid_argument("make_backend: unknown backend kind");
+  if (!inner) throw std::invalid_argument("make_backend: unknown backend kind");
+  if (wrap) return std::make_unique<ShotBackend>(config, std::move(inner));
+  return inner;
 }
 
 }  // namespace qugeo::qsim

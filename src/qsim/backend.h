@@ -1,11 +1,13 @@
 // Pluggable simulation-backend layer: one interface over exact statevector
-// execution, exact density-matrix (channel) execution, and sampled
-// noisy-trajectory execution.
+// execution, exact density-matrix (channel) execution, sampled
+// noisy-trajectory execution, and finite-shot sampled readout over any of
+// the three (ShotBackend).
 //
 // The core layer (QuGeoModel, Experiment, benches) selects a backend purely
 // through ExecutionConfig — no call-site special-casing — so the same
-// pipeline runs noiselessly, with exact depolarizing channels, or with
-// Pauli-twirl trajectories. Noiseless execution paths canonicalize the
+// pipeline runs noiselessly, with exact NoiseModel channels, with sampled
+// trajectories, or from a finite measurement budget (shots). Noiseless
+// execution paths canonicalize the
 // circuit first (optimizer.h: single-qubit run fusion, diagonal-run
 // merging), so every backend benefits from the GateClass kernel dispatch;
 // with a channel active the original op stream executes verbatim, because
@@ -35,10 +37,11 @@ namespace qugeo::qsim {
 enum class BackendKind : std::uint8_t {
   kStatevector,    ///< exact pure-state simulation (fast-path kernels)
   kDensityMatrix,  ///< exact mixed-state simulation with exact channels
-  kTrajectory,     ///< Pauli-twirl trajectory sampling over the thread pool
+  kTrajectory,     ///< noise-trajectory sampling over the thread pool
+  kShot,           ///< finite-shot sampled readout over an inner backend
 };
 
-/// "statevector" | "density" | "trajectory".
+/// "statevector" | "density" | "trajectory" | "shot".
 [[nodiscard]] std::string_view backend_name(BackendKind kind) noexcept;
 
 /// Inverse of backend_name (also accepts "density_matrix"); nullopt on
@@ -58,12 +61,20 @@ struct ExecutionConfig {
   BackendKind backend = BackendKind::kStatevector;
   NoiseModel noise;                ///< ignored by the statevector backend
   std::size_t trajectories = 64;   ///< trajectory backend sample count
-  std::uint64_t seed = 0x51d5eedULL;  ///< base seed for trajectory streams
+  /// Measurement budget of the sampled readout: 0 reads exact
+  /// probabilities; any positive value wraps the configured backend in a
+  /// ShotBackend that estimates them from this many shots (make_backend
+  /// does the wrapping — no call-site special-casing).
+  std::size_t shots = 0;
+  std::uint64_t seed = 0x51d5eedULL;  ///< base seed for trajectory/shot streams
 };
 
 /// Environment overrides for smoke runs and CI: QUGEO_BACKEND
-/// ("statevector" | "density" | "trajectory"), QUGEO_NOISE_P (real),
-/// QUGEO_TRAJECTORIES (integer). Unset variables leave `base` untouched.
+/// ("statevector" | "density" | "trajectory" | "shot"), QUGEO_NOISE_P
+/// (real), QUGEO_NOISE_CHANNEL ("depolarizing" | "amplitude_damping" |
+/// "phase_damping"), QUGEO_READOUT_P (real), QUGEO_TRAJECTORIES (integer),
+/// QUGEO_SHOTS (integer, 0 = exact). Unset variables leave `base`
+/// untouched.
 [[nodiscard]] ExecutionConfig apply_env_overrides(ExecutionConfig base);
 
 /// A stateful execution engine: prepare (or inject) a state, run a circuit,
@@ -184,12 +195,59 @@ class TrajectoryBackend final : public Backend {
   std::vector<Real> mean_probs_;
 };
 
-/// Build the configured backend. When the density-matrix backend is
-/// requested for more qubits than the dense representation supports AND the
-/// noise model is trivial (p = 0), the statevector backend is substituted —
-/// at p = 0 the exact channel semantics degenerate to unitary evolution, so
-/// the substitution is exact, and env-driven smoke runs (QUGEO_BACKEND)
-/// keep working on large layouts. With p > 0 the request throws instead.
+/// Finite-shot sampled readout over any inner backend: run the circuit on
+/// the wrapped engine, then estimate probabilities / <Z> from `shots`
+/// basis-state samples of its probability output (qsim/shots.h — per-shot
+/// (seed, shot) sub-streams over the shared pool, bit-identical for any
+/// QUGEO_THREADS value). The NoiseModel's readout_error is realized here,
+/// on the sampled outcomes; the inner backend only applies gate noise.
+/// With shots == 0 the wrapper reads the inner backend's exact output and
+/// applies the readout error exactly (the confusion matrix — the
+/// infinite-shot limit); with no readout error either, it is a bitwise
+/// pass-through.
+class ShotBackend final : public Backend {
+ public:
+  /// Wrap `inner` (which must not itself be a ShotBackend). make_backend
+  /// builds this automatically whenever config.shots > 0.
+  ShotBackend(const ExecutionConfig& config, std::unique_ptr<Backend> inner);
+
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kShot;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    return BackendCaps{.supports_adjoint = false,
+                       .exact_noise = shots_ == 0 && inner_->caps().exact_noise};
+  }
+  [[nodiscard]] Index num_qubits() const noexcept override;
+  void prepare(Index num_qubits) override;
+  using Backend::run;
+  void run(const Circuit& circuit, std::span<const Real> params,
+           StateVector initial_state) override;
+  [[nodiscard]] std::vector<Real> probabilities() const override;
+  [[nodiscard]] std::vector<Real> expect_z(
+      std::span<const Index> qubits) const override;
+
+  [[nodiscard]] const Backend& inner() const { return *inner_; }
+  [[nodiscard]] std::size_t shots() const noexcept { return shots_; }
+
+ private:
+  std::unique_ptr<Backend> inner_;
+  std::size_t shots_;
+  Real readout_error_;
+  std::uint64_t seed_;
+};
+
+/// Build the configured backend. config.shots > 0 (or backend == kShot,
+/// whose inner engine defaults to the statevector) wraps the configured
+/// engine in a ShotBackend; the readout error then moves to the wrapper so
+/// it is sampled exactly once. When the density-matrix backend is
+/// requested for more qubits than the dense representation supports AND
+/// its noise model is trivial, the statevector backend is substituted —
+/// trivial channel semantics degenerate to unitary evolution, so the
+/// substitution is exact, and env-driven smoke runs (QUGEO_BACKEND) keep
+/// working on large layouts. With any channel active (gate noise of any
+/// kind, or a readout error no shot wrapper will realize) the request
+/// throws, naming the channel.
 [[nodiscard]] std::unique_ptr<Backend> make_backend(
     const ExecutionConfig& config, Index num_qubits);
 

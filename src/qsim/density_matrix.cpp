@@ -212,8 +212,29 @@ Real DensityMatrix::expect_z(Index q) const {
 
 void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
                          DensityMatrix& rho, Real depolarizing_prob) {
+  NoiseModel noise;
+  noise.gate_error_prob = depolarizing_prob;
+  run_circuit_density(circuit, params, rho, noise);
+}
+
+void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
+                         DensityMatrix& rho, const NoiseModel& noise) {
   if (rho.num_qubits() != circuit.num_qubits())
     throw std::invalid_argument("run_circuit_density: qubit count mismatch");
+  // The depolarizing channel keeps its dedicated in-place fast path; the
+  // damping channels go through the generic Kraus application.
+  const bool use_kraus = noise.has_gate_noise() &&
+                         noise.channel != NoiseChannel::kDepolarizing;
+  std::vector<Mat2> channel_kraus;
+  if (use_kraus)
+    channel_kraus = kraus_ops(noise.channel, noise.gate_error_prob);
+  const auto apply_gate_noise = [&](Index q) {
+    if (!noise.has_gate_noise()) return;
+    if (use_kraus)
+      rho.apply_kraus(channel_kraus, q);
+    else
+      rho.depolarize(q, noise.gate_error_prob);
+  };
   for (const Op& op : circuit.ops()) {
     const auto vals = Circuit::resolve_params(op, params);
     switch (op.kind) {
@@ -231,9 +252,12 @@ void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
         rho.apply_1q(gate_matrix(op.kind, vals), op.qubits[0]);
         break;
     }
-    rho.depolarize(op.qubits[0], depolarizing_prob);
-    if (gate_qubit_count(op.kind) == 2)
-      rho.depolarize(op.qubits[1], depolarizing_prob);
+    apply_gate_noise(op.qubits[0]);
+    if (gate_qubit_count(op.kind) == 2) apply_gate_noise(op.qubits[1]);
+  }
+  if (noise.has_readout_error()) {
+    const std::vector<Mat2> rk = readout_kraus(noise.readout_error);
+    for (Index q = 0; q < rho.num_qubits(); ++q) rho.apply_kraus(rk, q);
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "qsim/circuit.h"
+#include "qsim/noise.h"
 #include "qsim/statevector.h"
 
 namespace qugeo::qsim {
@@ -83,5 +84,14 @@ class DensityMatrix {
 /// after each gate (mirrors run_circuit_noisy's insertion points).
 void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
                          DensityMatrix& rho, Real depolarizing_prob = 0);
+
+/// Full NoiseModel variant: the named gate channel (depolarizing via the
+/// in-place fast path, damping channels via apply_kraus) after every gate
+/// touch — the same insertion points run_circuit_noisy samples — and the
+/// readout bit-flip channel on every qubit at the end. The post-run
+/// density therefore folds measurement error into the state exactly, which
+/// is equivalent for every diagonal observable (probabilities, <Z>).
+void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
+                         DensityMatrix& rho, const NoiseModel& noise);
 
 }  // namespace qugeo::qsim

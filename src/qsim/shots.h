@@ -1,0 +1,57 @@
+// Deterministic shot sampling: the one audited path that turns an exact
+// probability distribution into empirical (finite-shot) estimates.
+//
+// On hardware the decoder reads expectations from a finite measurement
+// budget; this module emulates that for any backend's probability output.
+// Every shot draws from its own RNG sub-stream derived from (seed, shot
+// index) and the per-slot counts are folded in fixed order, so estimates
+// are bit-identical for any QUGEO_THREADS value — the same contract the
+// trajectory sampler honors. ShotBackend (backend.h) and the
+// core/shot_readout wrappers both delegate here, pinned byte-identical by
+// test_core_shot_readout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace qugeo::qsim {
+
+/// Independent RNG sub-stream for one measurement shot (same construction
+/// as trajectory_rng; shot s always sees the same stream regardless of the
+/// thread that draws it).
+[[nodiscard]] Rng shot_rng(std::uint64_t seed, std::size_t shot);
+
+/// Empirical probability vector from `shots` basis-state samples of the
+/// cumulative distribution `cdf` (length 2^num_qubits, last entry the total
+/// mass). Each sampled outcome independently flips every bit with
+/// probability `readout_error` before being counted — the sampled
+/// realization of the readout bit-flip channel. Shots fan out across the
+/// shared thread pool in fixed slot strides; the result is bit-identical
+/// for any thread count. `shots` must be positive.
+[[nodiscard]] std::vector<Real> sampled_probabilities_from_cdf(
+    std::span<const Real> cdf, Index num_qubits, std::uint64_t seed,
+    std::size_t shots, Real readout_error = 0);
+
+/// Apply the readout bit-flip channel exactly to a probability vector
+/// (the classical confusion matrix, i.e. the infinite-shot limit of the
+/// sampled flips): per qubit, p'[k] = (1-e) p[k] + e p[k ^ bit]. In place,
+/// O(n 2^n). No-op for e <= 0.
+void apply_readout_to_probabilities(std::span<Real> probs, Index num_qubits,
+                                    Real readout_error);
+
+/// <Z_q> for each listed qubit of a (possibly empirical) probability
+/// vector over the full computational basis.
+[[nodiscard]] std::vector<Real> expect_z_from_probabilities(
+    std::span<const Real> probs, std::span<const Index> qubits);
+
+/// Marginal distribution over an ordered qubit subset of a (possibly
+/// empirical) probability vector; bit i of the result index is the value
+/// of qubits[i].
+[[nodiscard]] std::vector<Real> marginal_from_probabilities(
+    std::span<const Real> probs, std::span<const Index> qubits);
+
+}  // namespace qugeo::qsim

@@ -71,7 +71,7 @@ TEST(BackendAblation, ExactAndSampledNoisyPredictionsAgree) {
     for (const auto& s : samples) ptrs.push_back(&s);
 
     qsim::ExecutionConfig exec;
-    exec.noise.depolarizing_prob = 0.02;
+    exec.noise.gate_error_prob = 0.02;
     exec.backend = qsim::BackendKind::kDensityMatrix;
     const auto p_exact = predict_with(model, exec, ptrs);
 
@@ -99,7 +99,7 @@ TEST(BackendAblation, NoiseShiftsPredictionsAwayFromNoiseless) {
   qsim::ExecutionConfig exec;
   const auto clean = predict_with(model, exec, ptrs);
   exec.backend = qsim::BackendKind::kDensityMatrix;
-  exec.noise.depolarizing_prob = 0.2;
+  exec.noise.gate_error_prob = 0.2;
   const auto noisy = predict_with(model, exec, ptrs);
 
   Real diff = 0;
@@ -122,7 +122,7 @@ TEST(BackendAblation, TrainingGradientsStayOnAdjointPath) {
 
   qsim::ExecutionConfig exec;
   exec.backend = qsim::BackendKind::kTrajectory;
-  exec.noise.depolarizing_prob = 0.1;
+  exec.noise.gate_error_prob = 0.1;
   exec.trajectories = 4;
   model.set_execution_config(exec);
   std::vector<Real> g_noisy(model.num_params(), Real(0));

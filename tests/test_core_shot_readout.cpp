@@ -1,11 +1,14 @@
 // Shot-based readout: convergence to exact expectations with the shot
-// budget, and end-to-end sampled prediction.
+// budget, end-to-end sampled prediction, and the delegation pin — the
+// wrappers must produce byte-identical estimates to direct ShotBackend
+// calls for the same seed, so the refactor onto qsim/shots.h can't drift.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "core/shot_readout.h"
 #include "qsim/encoding.h"
+#include "qsim/shots.h"
 
 namespace qugeo::core {
 namespace {
@@ -67,6 +70,16 @@ TEST(ShotReadout, ZeroShotsRejected) {
                std::invalid_argument);
 }
 
+/// Pin the model's own readout to exact probabilities, regardless of any
+/// QUGEO_SHOTS smoke-leg override applied at construction: these tests
+/// compare sampled estimates against the exact decode.
+void force_exact_readout(QuGeoModel& model) {
+  qsim::ExecutionConfig exec = model.execution_config();
+  exec.backend = qsim::BackendKind::kStatevector;
+  exec.shots = 0;
+  model.set_execution_config(exec);
+}
+
 TEST(ShotReadout, PredictionConvergesToExactDecoder) {
   Rng rng(7);
   ModelConfig mc;
@@ -76,6 +89,7 @@ TEST(ShotReadout, PredictionConvergesToExactDecoder) {
   mc.vel_rows = 3;
   mc.vel_cols = 2;
   QuGeoModel model(mc, rng);
+  force_exact_readout(model);
 
   data::ScaledSample s;
   s.waveform.resize(8);
@@ -91,8 +105,17 @@ TEST(ShotReadout, PredictionConvergesToExactDecoder) {
     EXPECT_NEAR(sampled[k], exact[k], 0.02) << "pixel " << k;
 }
 
-TEST(ShotReadout, RejectsBatchedAndPixelModels) {
+TEST(ShotReadout, BatchedAndPixelModelsNowSampleToo) {
+  // The ShotBackend delegation removed the old layer-decoder/unbatched
+  // restriction: every decoder and QuBatch size goes through the same
+  // ExecutionConfig path. Sampled predictions must converge to the exact
+  // decode for both previously rejected configurations.
   Rng rng(9);
+  data::ScaledSample s;
+  s.waveform.assign(8, 0.5);
+  s.velocity.assign(6, 0.5);
+  const data::ScaledSample* chunk[] = {&s};
+
   ModelConfig batched;
   batched.group_data_qubits = {3};
   batched.batch_log2 = 1;
@@ -100,13 +123,12 @@ TEST(ShotReadout, RejectsBatchedAndPixelModels) {
   batched.vel_rows = 3;
   batched.vel_cols = 2;
   QuGeoModel mb(batched, rng);
-  data::ScaledSample s;
-  s.waveform.assign(8, 0.5);
-  s.velocity.assign(6, 0.5);
-  const data::ScaledSample* chunk[] = {&s};
+  force_exact_readout(mb);
+  const auto exact_b = mb.predict(chunk)[0];
   Rng shot_rng(10);
-  EXPECT_THROW((void)predict_with_shots(mb, chunk, shot_rng, 10),
-               std::invalid_argument);
+  const auto sampled_b = predict_with_shots(mb, chunk, shot_rng, 200000)[0];
+  for (std::size_t k = 0; k < exact_b.size(); ++k)
+    EXPECT_NEAR(sampled_b[k], exact_b[k], 0.02) << "batched pixel " << k;
 
   ModelConfig px;
   px.group_data_qubits = {3};
@@ -115,8 +137,74 @@ TEST(ShotReadout, RejectsBatchedAndPixelModels) {
   px.vel_rows = 2;
   px.vel_cols = 2;
   QuGeoModel mp(px, rng);
-  EXPECT_THROW((void)predict_with_shots(mp, chunk, shot_rng, 10),
+  force_exact_readout(mp);
+  const auto exact_p = mp.predict(chunk)[0];
+  const auto sampled_p = predict_with_shots(mp, chunk, shot_rng, 200000)[0];
+  for (std::size_t k = 0; k < exact_p.size(); ++k)
+    EXPECT_NEAR(sampled_p[k], exact_p[k], 0.02) << "pixel-decoder pixel " << k;
+}
+
+TEST(ShotReadout, ZeroShotBudgetRejectedByPredict) {
+  Rng rng(11);
+  ModelConfig mc;
+  mc.group_data_qubits = {3};
+  mc.ansatz.blocks = 1;
+  mc.vel_rows = 3;
+  mc.vel_cols = 2;
+  QuGeoModel model(mc, rng);
+  data::ScaledSample s;
+  s.waveform.assign(8, 0.5);
+  s.velocity.assign(6, 0.5);
+  const data::ScaledSample* chunk[] = {&s};
+  Rng shot_rng(12);
+  EXPECT_THROW((void)predict_with_shots(model, chunk, shot_rng, 0),
                std::invalid_argument);
+}
+
+TEST(ShotReadout, WrappersByteIdenticalToDirectShotBackend) {
+  // The delegation pin (regression test for the refactor): for the same
+  // seed, the Rng-based wrappers and a directly constructed ShotBackend
+  // must sample the same CDF with the same sub-streams and so return
+  // byte-identical estimates.
+  Rng rng(13);
+  qsim::Circuit c(4);
+  for (Index q = 0; q < 4; ++q) c.u3(q, c.new_params(3));
+  for (Index q = 0; q < 4; ++q) c.cu3(q, (q + 1) % 4, c.new_params(3));
+  std::vector<Real> params(c.num_params());
+  rng.fill_uniform(params, -1.5, 1.5);
+  const std::vector<Index> qubits = {0, 1, 2, 3};
+  const std::size_t shots = 4096;
+  const std::uint64_t seed = 0xfeedface1234ULL;
+
+  // Wrapper path: run the circuit, estimate from the state. The wrapper
+  // consumes one u64 from its Rng as the sampling seed.
+  qsim::StatevectorBackend sv{qsim::ExecutionConfig{}};
+  sv.run(c, params, qsim::StateVector(4));
+  Rng wrap_rng(seed);
+  const auto z_wrap =
+      estimate_z_from_shots(sv.state(), qubits, wrap_rng, shots);
+  Rng wrap_rng2(seed);
+  const auto marg_wrap = estimate_marginal_from_shots(
+      sv.state(), std::span<const Index>(qubits.data(), 2), wrap_rng2, shots);
+
+  // Direct path: a ShotBackend over the statevector with the identical
+  // sampling seed.
+  qsim::ExecutionConfig exec;
+  exec.shots = shots;
+  exec.seed = Rng(seed).next_u64();
+  const auto backend = qsim::make_backend(exec, 4);
+  ASSERT_EQ(backend->kind(), qsim::BackendKind::kShot);
+  backend->run(c, params, qsim::StateVector(4));
+  const auto z_direct = backend->expect_z(qubits);
+  const auto marg_direct = qsim::marginal_from_probabilities(
+      backend->probabilities(), std::span<const Index>(qubits.data(), 2));
+
+  ASSERT_EQ(z_wrap.size(), z_direct.size());
+  for (std::size_t i = 0; i < z_wrap.size(); ++i)
+    EXPECT_EQ(z_wrap[i], z_direct[i]) << "qubit " << qubits[i];
+  ASSERT_EQ(marg_wrap.size(), marg_direct.size());
+  for (std::size_t k = 0; k < marg_wrap.size(); ++k)
+    EXPECT_EQ(marg_wrap[k], marg_direct[k]) << "outcome " << k;
 }
 
 }  // namespace

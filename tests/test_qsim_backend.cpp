@@ -47,7 +47,7 @@ StateVector random_state(Index qubits, Rng& rng) {
 TEST(Backend, NamesAndParsingRoundTrip) {
   for (const BackendKind kind :
        {BackendKind::kStatevector, BackendKind::kDensityMatrix,
-        BackendKind::kTrajectory}) {
+        BackendKind::kTrajectory, BackendKind::kShot}) {
     const auto parsed = parse_backend_kind(backend_name(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
@@ -164,7 +164,7 @@ TEST(Backend, TrajectoryConvergesToExactDepolarizingChannel) {
   c.ry(0, 0.5);
 
   ExecutionConfig cfg;
-  cfg.noise.depolarizing_prob = 0.05;
+  cfg.noise.gate_error_prob = 0.05;
   cfg.backend = BackendKind::kDensityMatrix;
   DensityMatrixBackend dm(cfg);
   dm.run(c, {});
@@ -202,7 +202,7 @@ TEST(Backend, NoisyRunsPreservePerGateInsertionPoints) {
 
   ExecutionConfig cfg;
   cfg.backend = BackendKind::kDensityMatrix;
-  cfg.noise.depolarizing_prob = p;
+  cfg.noise.gate_error_prob = p;
   DensityMatrixBackend dm(cfg);
   dm.run(c, {});
   const std::vector<Index> qubits = {0};
@@ -217,7 +217,7 @@ TEST(Backend, TrajectoryRunsAreThreadCountInvariant) {
 
   ExecutionConfig cfg;
   cfg.backend = BackendKind::kTrajectory;
-  cfg.noise.depolarizing_prob = 0.1;
+  cfg.noise.gate_error_prob = 0.1;
   cfg.trajectories = 48;
   cfg.seed = 17;
 
@@ -271,7 +271,7 @@ TEST(Backend, FactorySubstitutesStatevectorForOversizedNoiselessDensity) {
   cfg.backend = BackendKind::kDensityMatrix;
   const Index too_big = max_density_qubits() + 1;
   EXPECT_EQ(make_backend(cfg, too_big)->kind(), BackendKind::kStatevector);
-  cfg.noise.depolarizing_prob = 0.01;
+  cfg.noise.gate_error_prob = 0.01;
   EXPECT_THROW((void)make_backend(cfg, too_big), std::invalid_argument);
 }
 
@@ -284,7 +284,7 @@ TEST(Backend, EnvOverridesAreApplied) {
   ::unsetenv("QUGEO_NOISE_P");
   ::unsetenv("QUGEO_TRAJECTORIES");
   EXPECT_EQ(cfg.backend, BackendKind::kDensityMatrix);
-  EXPECT_NEAR(cfg.noise.depolarizing_prob, 0.015, 1e-15);
+  EXPECT_NEAR(cfg.noise.gate_error_prob, 0.015, 1e-15);
   EXPECT_EQ(cfg.trajectories, 7u);
 
   ::setenv("QUGEO_BACKEND", "not-a-backend", 1);
