@@ -1,0 +1,183 @@
+// Microbenchmarks of two-qubit run fusion and the compiled-circuit cache:
+// the frozen (literal-angle) U3+CU3 paper ansatz executed with and without
+// canonicalization, the dense 4x4 kernel itself, and the cache hit path.
+// Merges into BENCH_micro.json like every micro suite.
+//
+// The binary doubles as the CI perf gate: after the benchmark run, main()
+// re-times the fused vs unfused ansatz forward directly and exits non-zero
+// if fusion made it SLOWER — fused execution must never be a pessimization.
+#include <benchmark/benchmark.h>
+
+#include "bench_micro_main.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/ansatz.h"
+#include "core/layout.h"
+#include "qsim/backend.h"
+#include "qsim/compile_cache.h"
+#include "qsim/executor.h"
+#include "qsim/optimizer.h"
+
+namespace {
+
+using namespace qugeo;
+
+/// The paper's U3+CU3 ansatz with trained angles frozen to literals — the
+/// deployed-inference form two-qubit fusion targets (the trainable original
+/// is fusion-invariant by design).
+qsim::Circuit frozen_ansatz(Index qubits, std::size_t blocks,
+                            std::uint64_t seed) {
+  const core::QubitLayout layout({qubits}, 0);
+  core::AnsatzConfig cfg;
+  cfg.blocks = blocks;
+  const qsim::Circuit c = build_qugeo_ansatz(layout, cfg);
+  std::vector<Real> params(c.num_params());
+  Rng rng(seed);
+  rng.fill_uniform(params, -kPi, kPi);
+  return qsim::bind_parameters(c, params);
+}
+
+void run_forward_bench(benchmark::State& state, const qsim::Circuit& c,
+                       Index qubits) {
+  for (auto _ : state) {
+    qsim::StateVector psi(qubits);
+    qsim::run_circuit(c, {}, psi);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.num_ops()));
+  state.counters["gate_ops"] = static_cast<double>(c.num_ops());
+}
+
+void BM_FrozenAnsatzForwardUnfused(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  const qsim::Circuit c = frozen_ansatz(8, blocks, 11);
+  run_forward_bench(state, c, 8);
+}
+BENCHMARK(BM_FrozenAnsatzForwardUnfused)->Arg(4)->Arg(12)->Arg(24);
+
+void BM_FrozenAnsatzForwardFused(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  const qsim::Circuit c =
+      qsim::canonicalize_for_backend(frozen_ansatz(8, blocks, 11));
+  run_forward_bench(state, c, 8);
+}
+BENCHMARK(BM_FrozenAnsatzForwardFused)->Arg(4)->Arg(12)->Arg(24);
+
+void BM_ApplyMatrix2Q(benchmark::State& state) {
+  // The dense 4x4 kernel in isolation, swept across the register (the
+  // SWAP in the source run forces the dense emission path).
+  const auto qubits = static_cast<Index>(state.range(0));
+  qsim::Circuit c(2);
+  c.h(0);
+  c.ry(1, 0.6);
+  c.cu3(0, 1, 0.4, -0.8, 1.1);
+  c.swap(0, 1);
+  c.cx(0, 1);
+  const qsim::Circuit fused = qsim::canonicalize_for_backend(c);
+  const qsim::Mat4 u = fused.matrices()[0];
+  qsim::StateVector psi(qubits);
+  Index q = 0;
+  for (auto _ : state) {
+    psi.apply_matrix2q(u, q, (q + 1) % qubits);
+    q = (q + 1) % qubits;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.dim()));
+}
+BENCHMARK(BM_ApplyMatrix2Q)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ApplyBlockDiag2Q(benchmark::State& state) {
+  // The dual half-space kernel behind kFusedCtl2Q — the form CU3-style
+  // runs fuse into.
+  const auto qubits = static_cast<Index>(state.range(0));
+  const Real p0[] = {0.4, -0.8, 1.1};
+  const Real p1[] = {-0.9, 0.3, 0.5};
+  const qsim::Mat2 u0 = qsim::u3_matrix(p0[0], p0[1], p0[2]);
+  const qsim::Mat2 u1 = qsim::u3_matrix(p1[0], p1[1], p1[2]);
+  qsim::StateVector psi(qubits);
+  Index q = 0;
+  for (auto _ : state) {
+    psi.apply_block_diag_2q(u0, u1, q, (q + 1) % qubits);
+    q = (q + 1) % qubits;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.dim()));
+}
+BENCHMARK(BM_ApplyBlockDiag2Q)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_CanonicalizeAnsatz(benchmark::State& state) {
+  // What the compiled-circuit cache saves per QuBatch chunk: one full
+  // probe + two-pass fusion of the frozen 12-block ansatz.
+  const qsim::Circuit c = frozen_ansatz(8, 12, 11);
+  for (auto _ : state) {
+    const qsim::Circuit canon = qsim::canonicalize_for_backend(c);
+    benchmark::DoNotOptimize(canon.num_ops());
+  }
+}
+BENCHMARK(BM_CanonicalizeAnsatz);
+
+void BM_CompiledCacheHit(benchmark::State& state) {
+  // The per-chunk cost after the first compile: one structural key match.
+  const qsim::Circuit c = frozen_ansatz(8, 12, 11);
+  qsim::CompiledCircuitCache cache;
+  (void)cache.canonical(c, qsim::BackendKind::kStatevector);  // warm
+  for (auto _ : state) {
+    auto canon = cache.canonical(c, qsim::BackendKind::kStatevector);
+    benchmark::DoNotOptimize(canon.get());
+  }
+}
+BENCHMARK(BM_CompiledCacheHit);
+
+/// CI perf gate: fused forward must not be slower than unfused. Best-of-R
+/// timing of K forwards each, on the 8-qubit 12-block frozen ansatz.
+int fusion_speedup_guard() {
+  using clock = std::chrono::steady_clock;
+  const qsim::Circuit original = frozen_ansatz(8, 12, 11);
+  const qsim::Circuit fused = qsim::canonicalize_for_backend(original);
+
+  constexpr int kReps = 5;
+  constexpr int kIters = 60;
+  const auto best_of = [&](const qsim::Circuit& c) {
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = clock::now();
+      for (int it = 0; it < kIters; ++it) {
+        qsim::StateVector psi(8);
+        qsim::run_circuit(c, {}, psi);
+        benchmark::DoNotOptimize(psi.amplitudes().data());
+      }
+      const std::chrono::duration<double, std::milli> dt = clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return best;
+  };
+
+  best_of(original);  // warm caches/pages before the measured passes
+  const double unfused_ms = best_of(original);
+  const double fused_ms = best_of(fused);
+  const double speedup = unfused_ms / fused_ms;
+  std::printf(
+      "fusion guard: frozen 8q/12-block ansatz forward %zu -> %zu ops, "
+      "unfused %.3f ms, fused %.3f ms (%.2fx)\n",
+      original.num_ops(), fused.num_ops(), unfused_ms, fused_ms, speedup);
+  if (fused_ms > unfused_ms) {
+    std::fprintf(stderr,
+                 "fusion guard FAILED: fused forward is slower than unfused "
+                 "(%.3f ms > %.3f ms)\n",
+                 fused_ms, unfused_ms);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = qugeo::bench::run_micro_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  return fusion_speedup_guard();
+}

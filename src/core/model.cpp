@@ -11,6 +11,7 @@ namespace qugeo::core {
 QuGeoModel::QuGeoModel(const ModelConfig& config, Rng& init_rng)
     : config_(config),
       exec_(qsim::apply_env_overrides(config.execution)),
+      compile_cache_(std::make_shared<qsim::CompiledCircuitCache>()),
       layout_(config.group_data_qubits, config.batch_log2),
       ansatz_(build_qugeo_ansatz(layout_, config.ansatz)),
       encoder_(layout_),
@@ -60,6 +61,10 @@ std::vector<Real> QuGeoModel::run_forward_probabilities(
   // i's trajectory t collide with chunk i+1's trajectory t-1 — adjacent
   // samples would see nearly identical noise realizations.
   qsim::ExecutionConfig chunk_exec = exec;
+  // Share the model's compiled-circuit cache across chunks and predict
+  // calls (the ansatz structure is fixed) unless the caller brought its
+  // own; canonicalization then runs once per backend kind, ever.
+  if (!chunk_exec.compile_cache) chunk_exec.compile_cache = compile_cache_;
   std::uint64_t z = exec.seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;

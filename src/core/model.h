@@ -32,6 +32,7 @@
 #include "data/dataset.h"
 #include "qsim/backend.h"
 #include "qsim/circuit.h"
+#include "qsim/compile_cache.h"
 
 namespace qugeo::core {
 
@@ -66,6 +67,16 @@ class QuGeoModel {
   /// Re-point the inference path at a different backend / noise model; the
   /// sanctioned way to run the noise-robustness ablation on a trained model.
   void set_execution_config(const qsim::ExecutionConfig& exec) { exec_ = exec; }
+
+  /// The model-owned compiled-circuit cache: canonicalize_for_backend runs
+  /// once per (circuit structure, backend kind) across every predict /
+  /// predict_with call and QuBatch chunk (compile_count() is the probe the
+  /// tests pin). Injected into each chunk's ExecutionConfig unless the
+  /// caller supplied a cache of its own.
+  [[nodiscard]] const std::shared_ptr<qsim::CompiledCircuitCache>&
+  compile_cache() const noexcept {
+    return compile_cache_;
+  }
   [[nodiscard]] const qsim::Circuit& ansatz() const noexcept { return ansatz_; }
   [[nodiscard]] Index batch_size() const noexcept { return layout_.batch_size(); }
 
@@ -116,6 +127,7 @@ class QuGeoModel {
 
   ModelConfig config_;
   qsim::ExecutionConfig exec_;
+  std::shared_ptr<qsim::CompiledCircuitCache> compile_cache_;
   QubitLayout layout_;
   qsim::Circuit ansatz_;
   StEncoder encoder_;

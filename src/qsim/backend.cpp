@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/parallel.h"
+#include "qsim/compile_cache.h"
 #include "qsim/executor.h"
 #include "qsim/optimizer.h"
 #include "qsim/shots.h"
@@ -19,6 +20,31 @@ Real parse_env_probability(const char* name, const char* value) {
     throw std::invalid_argument(std::string(name) +
                                 ": expected a probability, got '" + value + "'");
   return v;
+}
+
+/// The circuit a noiseless execution path should run: the canonical (fused)
+/// form when fusion is enabled and would change the stream — served from
+/// the shared cache when one is configured — otherwise the original by
+/// reference. `keepalive`/`local` own whichever compiled object is
+/// returned; they must outlive the use of the returned reference.
+const Circuit& noiseless_form(const Circuit& circuit, bool fusion,
+                              const std::shared_ptr<CompiledCircuitCache>& cache,
+                              BackendKind kind,
+                              std::shared_ptr<const Circuit>& keepalive,
+                              std::optional<Circuit>& local) {
+  if (!fusion) return circuit;
+  if (cache) {
+    keepalive = cache->canonical(circuit, kind);
+    return keepalive ? *keepalive : circuit;
+  }
+  // No cache: pay the O(ops) probes per execution, the canonical copy only
+  // when fusion changes something (the all-trainable ansatz runs by
+  // reference).
+  if (has_fusable_runs(circuit) || has_fusable_two_qubit_runs(circuit)) {
+    local.emplace(canonicalize_for_backend(circuit));
+    return *local;
+  }
+  return circuit;
 }
 
 }  // namespace
@@ -80,16 +106,25 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
           s + "'");
     base.shots = static_cast<std::size_t>(n);
   }
+  if (const char* f = std::getenv("QUGEO_FUSION")) {
+    const std::string_view v(f);
+    if (v == "on" || v == "1" || v == "true")
+      base.fusion = true;
+    else if (v == "off" || v == "0" || v == "false")
+      base.fusion = false;
+    else
+      throw std::invalid_argument(
+          std::string("QUGEO_FUSION: expected on/off, got '") + f + "'");
+  }
   return base;
 }
 
 // ------------------------------------------------------ StatevectorBackend --
 
 StatevectorBackend::StatevectorBackend(const ExecutionConfig& config)
-    : psi_(0) {
+    : psi_(0), fusion_(config.fusion), cache_(config.compile_cache) {
   // The statevector backend is exact and noiseless; a NoiseModel in the
   // config is an ablation parameter for the other backends, not an error.
-  (void)config;
 }
 
 Index StatevectorBackend::num_qubits() const noexcept {
@@ -104,12 +139,10 @@ void StatevectorBackend::run(const Circuit& circuit,
                              std::span<const Real> params,
                              StateVector initial_state) {
   psi_ = std::move(initial_state);
-  // Only pay for the canonical copy when fusion changes something; the
-  // all-trainable ansatz runs by reference.
-  if (has_fusable_runs(circuit))
-    run_circuit(canonicalize_for_backend(circuit), params, psi_);
-  else
-    run_circuit(circuit, params, psi_);
+  std::shared_ptr<const Circuit> keepalive;
+  std::optional<Circuit> local;
+  run_circuit(noiseless_form(circuit, fusion_, cache_, kind(), keepalive, local),
+              params, psi_);
 }
 
 std::vector<Real> StatevectorBackend::probabilities() const {
@@ -126,7 +159,9 @@ std::vector<Real> StatevectorBackend::expect_z(
 // ---------------------------------------------------- DensityMatrixBackend --
 
 DensityMatrixBackend::DensityMatrixBackend(const ExecutionConfig& config)
-    : noise_(config.noise) {}
+    : noise_(config.noise),
+      fusion_(config.fusion),
+      cache_(config.compile_cache) {}
 
 Index DensityMatrixBackend::num_qubits() const noexcept {
   return rho_ ? rho_->num_qubits() : 0;
@@ -150,11 +185,15 @@ void DensityMatrixBackend::run(const Circuit& circuit,
   // channel active the original op stream must execute verbatim. The
   // readout channel has a single insertion point (the end of the circuit)
   // and survives fusion unchanged.
-  if (noise_.has_gate_noise() || !has_fusable_runs(circuit))
+  if (noise_.has_gate_noise()) {
     run_circuit_density(circuit, params, *rho_, noise_);
-  else
-    run_circuit_density(canonicalize_for_backend(circuit), params, *rho_,
-                        noise_);
+    return;
+  }
+  std::shared_ptr<const Circuit> keepalive;
+  std::optional<Circuit> local;
+  run_circuit_density(
+      noiseless_form(circuit, fusion_, cache_, kind(), keepalive, local),
+      params, *rho_, noise_);
 }
 
 std::vector<Real> DensityMatrixBackend::probabilities() const {
@@ -180,7 +219,9 @@ const DensityMatrix& DensityMatrixBackend::density() const {
 TrajectoryBackend::TrajectoryBackend(const ExecutionConfig& config)
     : noise_(config.noise),
       trajectories_(config.trajectories == 0 ? 1 : config.trajectories),
-      seed_(config.seed) {}
+      seed_(config.seed),
+      fusion_(config.fusion),
+      cache_(config.compile_cache) {}
 
 Index TrajectoryBackend::num_qubits() const noexcept { return num_qubits_; }
 
@@ -196,26 +237,32 @@ void TrajectoryBackend::run(const Circuit& circuit,
   num_qubits_ = initial_state.num_qubits();
   const Index dim = initial_state.dim();
 
+  // Gate-noisy runs execute the ORIGINAL op stream: run fusion would
+  // collapse per-gate noise insertion points (see
+  // DensityMatrixBackend::run). Without gate noise the circuit
+  // canonicalizes once, up front — the readout channel's single insertion
+  // point (the end of the circuit) survives fusion, so readout-only
+  // trajectories sample the fused stream too.
+  std::shared_ptr<const Circuit> keepalive;
+  std::optional<Circuit> local;
+  const Circuit& exec_circuit =
+      noise_.has_gate_noise()
+          ? circuit
+          : noiseless_form(circuit, fusion_, cache_, kind(), keepalive, local);
+
   // A trivial NoiseModel makes every trajectory identical to the exact
   // run; skip the fan-out entirely (env-driven smoke runs pay one
-  // statevector pass). Gate-noisy runs execute the ORIGINAL op stream: run
-  // fusion would collapse per-gate noise insertion points (see
-  // DensityMatrixBackend::run). Readout-only noise still samples per
-  // trajectory, but may fuse — its single insertion point is the end of
-  // the circuit.
+  // statevector pass).
   if (noise_.is_trivial()) {
     StateVector psi = std::move(initial_state);
-    if (has_fusable_runs(circuit))
-      run_circuit(canonicalize_for_backend(circuit), params, psi);
-    else
-      run_circuit(circuit, params, psi);
+    run_circuit(exec_circuit, params, psi);
     mean_probs_ = psi.probabilities();
     return;
   }
   if (trajectories_ == 1) {
     StateVector psi = std::move(initial_state);
     Rng rng = trajectory_rng(seed_, 0);
-    run_circuit_noisy(circuit, params, psi, noise_, rng);
+    run_circuit_noisy(exec_circuit, params, psi, noise_, rng);
     mean_probs_ = psi.probabilities();
     return;
   }
@@ -232,7 +279,7 @@ void TrajectoryBackend::run(const Circuit& circuit,
     for (std::size_t t = s; t < trajectories_; t += slots) {
       StateVector psi = initial_state;
       Rng rng = trajectory_rng(seed_, t);
-      run_circuit_noisy(circuit, params, psi, noise_, rng);
+      run_circuit_noisy(exec_circuit, params, psi, noise_, rng);
       const auto amps = psi.amplitudes();
       for (Index k = 0; k < dim; ++k) acc[k] += std::norm(amps[k]);
     }

@@ -7,11 +7,14 @@
 // through ExecutionConfig — no call-site special-casing — so the same
 // pipeline runs noiselessly, with exact NoiseModel channels, with sampled
 // trajectories, or from a finite measurement budget (shots). Noiseless
-// execution paths canonicalize the
-// circuit first (optimizer.h: single-qubit run fusion, diagonal-run
-// merging), so every backend benefits from the GateClass kernel dispatch;
-// with a channel active the original op stream executes verbatim, because
-// fusing k gates into one would also fuse their k noise insertion points.
+// execution paths canonicalize the circuit first (optimizer.h: single-qubit
+// run fusion, diagonal-run merging, two-qubit run fusion into dense 4x4
+// blocks), so every backend benefits from the GateClass kernel dispatch and
+// the fused kernels; with a gate channel active the original op stream
+// executes verbatim, because fusing k gates into one would also fuse their
+// k noise insertion points (optimizer.h documents the legality rules).
+// Canonical forms are memoized across executions when the config carries a
+// CompiledCircuitCache (compile_cache.h).
 //
 // Capability mask:
 //  * supports_adjoint — the backend exposes a statevector the adjoint
@@ -33,6 +36,8 @@
 #include "qsim/statevector.h"
 
 namespace qugeo::qsim {
+
+class CompiledCircuitCache;
 
 enum class BackendKind : std::uint8_t {
   kStatevector,    ///< exact pure-state simulation (fast-path kernels)
@@ -67,20 +72,46 @@ struct ExecutionConfig {
   /// does the wrapping — no call-site special-casing).
   std::size_t shots = 0;
   std::uint64_t seed = 0x51d5eedULL;  ///< base seed for trajectory/shot streams
+  /// Master switch for circuit canonicalization (run fusion) on the
+  /// noiseless execution paths. Off, every backend executes the original
+  /// op stream verbatim — the QUGEO_FUSION=off ablation/debug mode.
+  /// Results are equal either way (up to global phase, <= 1e-10); only
+  /// speed changes.
+  bool fusion = true;
+  /// Optional shared memo of canonicalize_for_backend results, keyed by
+  /// circuit structure + backend kind (see compile_cache.h for the exact
+  /// key semantics). Backends consult it in run(); null means every
+  /// execution probes (and, if fusable, re-fuses) its circuit locally.
+  /// QuGeoModel owns one per model and injects it for every predict call.
+  std::shared_ptr<CompiledCircuitCache> compile_cache;
 };
 
 /// Environment overrides for smoke runs and CI: QUGEO_BACKEND
 /// ("statevector" | "density" | "trajectory" | "shot"), QUGEO_NOISE_P
 /// (real), QUGEO_NOISE_CHANNEL ("depolarizing" | "amplitude_damping" |
 /// "phase_damping"), QUGEO_READOUT_P (real), QUGEO_TRAJECTORIES (integer),
-/// QUGEO_SHOTS (integer, 0 = exact). Unset variables leave `base`
-/// untouched.
+/// QUGEO_SHOTS (integer, 0 = exact), QUGEO_FUSION ("on"/"off"). Unset
+/// variables leave `base` untouched. The full reference table lives in
+/// docs/ARCHITECTURE.md.
 [[nodiscard]] ExecutionConfig apply_env_overrides(ExecutionConfig base);
 
-/// A stateful execution engine: prepare (or inject) a state, run a circuit,
-/// read out probabilities / expectations. Backends are cheap to construct
-/// and NOT thread-safe; parallel call sites create one per task (QuGeoModel
-/// does so per QuBatch chunk).
+/// \brief A stateful execution engine: prepare (or inject) a state, run a
+/// circuit, read out probabilities / expectations.
+///
+/// Backends are cheap to construct and NOT thread-safe; parallel call
+/// sites create one per task (QuGeoModel does so per QuBatch chunk).
+///
+/// \par Canonicalization contract (fusion legality)
+/// run() executes the canonical (run-fused) form of the circuit on its
+/// NOISELESS path — via the shared CompiledCircuitCache when
+/// ExecutionConfig::compile_cache is set, locally otherwise, and not at
+/// all when ExecutionConfig::fusion is off. With a gate channel active the
+/// ORIGINAL op stream executes verbatim: fusing k gates into one would
+/// also fuse their k per-gate noise insertion points (see optimizer.h for
+/// the full legality rules; the readout channel's single end-of-circuit
+/// insertion point survives fusion, so readout-only noise may still fuse).
+/// Either way the observable results are identical to 1e-10 — fusion is a
+/// pure performance layer, pinned by test_qsim_fusion2q.
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -94,9 +125,13 @@ class Backend {
   /// Reset the internal state to |0...0> on `num_qubits` qubits.
   virtual void prepare(Index num_qubits) = 0;
 
-  /// Execute the circuit from the given initial state (the encoder's
-  /// output), replacing the internal state with the result. Trainable
-  /// angles resolve against `params`.
+  /// \brief Execute the circuit from the given initial state (the
+  /// encoder's output), replacing the internal state with the result.
+  /// \param circuit        executed in canonical form when the contract
+  ///                       above allows; the caller's object is never
+  ///                       mutated.
+  /// \param params         trainable angles resolve against this table.
+  /// \param initial_state  consumed; pass a copy if it must survive.
   virtual void run(const Circuit& circuit, std::span<const Real> params,
                    StateVector initial_state) = 0;
 
@@ -139,6 +174,8 @@ class StatevectorBackend final : public Backend {
 
  private:
   StateVector psi_;
+  bool fusion_;
+  std::shared_ptr<CompiledCircuitCache> cache_;
 };
 
 class DensityMatrixBackend final : public Backend {
@@ -166,6 +203,8 @@ class DensityMatrixBackend final : public Backend {
  private:
   NoiseModel noise_;
   std::optional<DensityMatrix> rho_;
+  bool fusion_;
+  std::shared_ptr<CompiledCircuitCache> cache_;
 };
 
 class TrajectoryBackend final : public Backend {
@@ -191,6 +230,8 @@ class TrajectoryBackend final : public Backend {
   NoiseModel noise_;
   std::size_t trajectories_;
   std::uint64_t seed_;
+  bool fusion_;
+  std::shared_ptr<CompiledCircuitCache> cache_;
   Index num_qubits_ = 0;
   std::vector<Real> mean_probs_;
 };

@@ -1,0 +1,75 @@
+#include "qsim/compile_cache.h"
+
+#include <algorithm>
+
+#include "qsim/optimizer.h"
+
+namespace qugeo::qsim {
+namespace {
+
+bool same_op(const Op& a, const Op& b) {
+  return a.kind == b.kind && a.qubits == b.qubits && a.param_ids == b.param_ids &&
+         a.literals == b.literals && a.matrix_id == b.matrix_id;
+}
+
+}  // namespace
+
+bool CompiledCircuitCache::matches(const Entry& entry, const Circuit& circuit,
+                                   BackendKind backend) {
+  if (entry.backend != backend || entry.num_qubits != circuit.num_qubits() ||
+      entry.num_params != circuit.num_params() ||
+      entry.ops.size() != circuit.num_ops())
+    return false;
+  const auto ops = circuit.ops();
+  for (std::size_t i = 0; i < entry.ops.size(); ++i)
+    if (!same_op(entry.ops[i], ops[i])) return false;
+  const auto mats = circuit.matrices();
+  if (entry.mats.size() != mats.size()) return false;
+  for (std::size_t i = 0; i < entry.mats.size(); ++i)
+    if (entry.mats[i].m != mats[i].m) return false;
+  return true;
+}
+
+std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
+    const Circuit& circuit, BackendKind backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (matches(entry, circuit, backend)) {
+      ++hits_;
+      return entry.compiled;
+    }
+  }
+  // Miss: compile under the lock so concurrent first executions of the
+  // same circuit (predict's chunk fan-out) canonicalize exactly once.
+  ++compiles_;
+  Entry entry;
+  entry.backend = backend;
+  entry.num_qubits = circuit.num_qubits();
+  entry.num_params = static_cast<std::uint32_t>(circuit.num_params());
+  entry.ops.assign(circuit.ops().begin(), circuit.ops().end());
+  entry.mats.assign(circuit.matrices().begin(), circuit.matrices().end());
+  if (has_fusable_runs(circuit) || has_fusable_two_qubit_runs(circuit))
+    entry.compiled =
+        std::make_shared<const Circuit>(canonicalize_for_backend(circuit));
+  // else: identity — a null compiled pointer tells callers to run the
+  // original by reference (and never probe this structure again).
+  entries_.push_back(std::move(entry));
+  return entries_.back().compiled;
+}
+
+std::size_t CompiledCircuitCache::compile_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compiles_;
+}
+
+std::size_t CompiledCircuitCache::hit_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+void CompiledCircuitCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,76 @@
+// Compiled-circuit cache: memoized canonicalize_for_backend results.
+//
+// QuGeoModel::predict fans QuBatch chunks across the thread pool, and every
+// chunk constructs a fresh backend that would otherwise re-probe (and, for
+// fusable circuits, re-fuse) the same ansatz. A CompiledCircuitCache —
+// shared through ExecutionConfig::compile_cache — runs the canonicalization
+// exactly once per distinct (circuit structure, backend kind) and hands
+// every later execution the cached form. compile_count()/hit_count() are
+// the observable probes the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "qsim/circuit.h"
+
+namespace qugeo::qsim {
+
+enum class BackendKind : std::uint8_t;
+
+/// \brief Thread-safe memo of canonicalize_for_backend (optimizer.h).
+///
+/// \par Cache-key semantics
+/// Entries are keyed by the EXACT circuit structure — qubit count,
+/// parameter-table size, and the full op stream (kind, operands, parameter
+/// ids, literal angles, dense-matrix payloads) — plus the executing
+/// BackendKind. Structural equality, not pointer identity: two Circuit
+/// objects built the same way share one entry. Trainable parameter VALUES
+/// are deliberately absent from the key — fusion only touches literal
+/// gates, so one canonical form serves every parameter table (predict
+/// after a training step hits the same entry).
+///
+/// A null cached pointer is a positive result meaning "canonicalization is
+/// the identity here" (e.g. the all-trainable ansatz): callers then run
+/// their original circuit by reference, and repeated executions skip even
+/// the O(ops) fusability probes.
+class CompiledCircuitCache {
+ public:
+  /// The canonical form of `circuit` for `backend`, compiling on first
+  /// use; nullptr when canonicalization would not change the op stream
+  /// (execute the original). Thread-safe; concurrent misses on the same
+  /// key compile once.
+  [[nodiscard]] std::shared_ptr<const Circuit> canonical(const Circuit& circuit,
+                                                         BackendKind backend);
+
+  /// Number of canonicalization runs performed (cache misses).
+  [[nodiscard]] std::size_t compile_count() const;
+
+  /// Number of lookups served from an existing entry.
+  [[nodiscard]] std::size_t hit_count() const;
+
+  /// Drop every entry (counters keep accumulating).
+  void clear();
+
+ private:
+  struct Entry {
+    BackendKind backend;
+    Index num_qubits;
+    std::uint32_t num_params;
+    std::vector<Op> ops;        // structural key (exact, collision-free)
+    std::vector<Mat4> mats;     // dense payloads referenced by the ops
+    std::shared_ptr<const Circuit> compiled;  // null => identity
+  };
+
+  [[nodiscard]] static bool matches(const Entry& entry, const Circuit& circuit,
+                                    BackendKind backend);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::size_t compiles_ = 0;
+  std::size_t hits_ = 0;
+};
+
+}  // namespace qugeo::qsim
