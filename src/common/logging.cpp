@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace qugeo {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+
+/// Serializes whole lines onto stderr so concurrent log calls never
+/// interleave mid-line. The guarded resource is the stream itself, which
+/// the analysis cannot name — log_message below is the only writer.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +33,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, std::string_view msg) {
   if (level < g_level.load()) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -1,0 +1,83 @@
+// Annotated mutex primitives for Clang Thread Safety Analysis.
+//
+// Thin zero-overhead wrappers over std::mutex / std::condition_variable
+// carrying the capability annotations from common/thread_annotations.h.
+// The standard-library types themselves are unannotated, so the analysis
+// cannot connect a std::lock_guard to the members it protects; routing
+// every lock through these types is what lets QUGEO_GUARDED_BY members be
+// statically checked under `-Wthread-safety`.
+//
+// Deliberately minimal: exactly the surface the codebase uses (scoped
+// locking and condition waits). Timed/shared variants can be added when a
+// caller needs them.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace qugeo {
+
+class CondVar;
+
+/// std::mutex with the `capability` annotation.
+class QUGEO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QUGEO_ACQUIRE() { mu_.lock(); }
+  void unlock() QUGEO_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() QUGEO_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // needs the native handle for atomic wait/reacquire
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard shape) over an annotated Mutex.
+class QUGEO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QUGEO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QUGEO_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable working with an annotated Mutex.
+///
+/// wait() takes the Mutex itself (not a unique_lock) and REQUIRES the
+/// caller to hold it, which keeps the capability model intact: write the
+/// predicate as an explicit `while (!ready) cv.wait(mu);` loop in the
+/// caller, where the analysis can see that the guarded reads happen under
+/// the lock. (A predicate-lambda overload would move those reads into a
+/// context the analysis cannot attribute the capability to.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, and reacquire before returning.
+  /// Spurious wakeups are possible: always wait in a predicate loop.
+  void wait(Mutex& mu) QUGEO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // caller still owns the (reacquired) mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qugeo

@@ -1,13 +1,14 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qugeo {
 namespace {
@@ -32,8 +33,8 @@ struct Task {
   // without running, and the submitting thread rethrows after the fan-out
   // has fully quiesced (so no worker still references caller state).
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::exception_ptr error QUGEO_GUARDED_BY(error_mutex);
 };
 
 class Pool {
@@ -43,13 +44,13 @@ class Pool {
     return pool;
   }
 
-  std::size_t size() {
-    std::lock_guard<std::mutex> lk(config_mutex_);
+  std::size_t size() QUGEO_EXCLUDES(config_mutex_) {
+    MutexLock lk(config_mutex_);
     return target_threads_;
   }
 
-  void resize(std::size_t n) {
-    std::lock_guard<std::mutex> lk(config_mutex_);
+  void resize(std::size_t n) QUGEO_EXCLUDES(config_mutex_) {
+    MutexLock lk(config_mutex_);
     if (n == 0) n = env_default();
     if (n == target_threads_) return;
     stop_workers();
@@ -58,12 +59,13 @@ class Pool {
   }
 
   void run(std::size_t begin, std::size_t end, std::size_t grain,
-           const std::function<void(std::size_t, std::size_t)>& body) {
+           const std::function<void(std::size_t, std::size_t)>& body)
+      QUGEO_EXCLUDES(config_mutex_, mutex_) {
     const std::size_t n = end - begin;
     if (grain == 0) grain = 1;
     std::size_t threads;
     {
-      std::lock_guard<std::mutex> lk(config_mutex_);
+      MutexLock lk(config_mutex_);
       threads = target_threads_;
     }
     // Inline when there is nothing to fan out to, when the range is too
@@ -86,7 +88,7 @@ class Pool {
     task->num_chunks = (n + chunk - 1) / chunk;
 
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       current_ = task;
       ++generation_;
     }
@@ -95,23 +97,29 @@ class Pool {
     work_on(*task);  // the submitting thread is pool member #0
 
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      done_.wait(lk, [&] { return task->done.load(std::memory_order_acquire) ==
-                                  task->num_chunks; });
+      MutexLock lk(mutex_);
+      while (task->done.load(std::memory_order_acquire) != task->num_chunks)
+        done_.wait(mutex_);
     }
-    if (task->failed.load(std::memory_order_acquire))
-      std::rethrow_exception(task->error);
+    if (task->failed.load(std::memory_order_acquire)) {
+      std::exception_ptr error;
+      {
+        MutexLock elk(task->error_mutex);
+        error = task->error;
+      }
+      std::rethrow_exception(error);
+    }
   }
 
  private:
-  Pool() {
-    std::lock_guard<std::mutex> lk(config_mutex_);
+  Pool() QUGEO_EXCLUDES(config_mutex_) {
+    MutexLock lk(config_mutex_);
     target_threads_ = env_default();
     start_workers();
   }
 
-  ~Pool() {
-    std::lock_guard<std::mutex> lk(config_mutex_);
+  ~Pool() QUGEO_EXCLUDES(config_mutex_) {
+    MutexLock lk(config_mutex_);
     stop_workers();
   }
 
@@ -126,7 +134,7 @@ class Pool {
     return hw == 0 ? 1 : hw;
   }
 
-  void work_on(Task& task) {
+  void work_on(Task& task) QUGEO_EXCLUDES(mutex_) {
     const bool was_worker = tl_in_pool_worker;
     tl_in_pool_worker = true;
     std::size_t finished = 0;
@@ -142,7 +150,7 @@ class Pool {
         try {
           task.body(lo, hi);
         } catch (...) {
-          std::lock_guard<std::mutex> elk(task.error_mutex);
+          MutexLock elk(task.error_mutex);
           if (!task.error) task.error = std::current_exception();
           task.failed.store(true, std::memory_order_release);
         }
@@ -156,18 +164,18 @@ class Pool {
     if (done == task.num_chunks) {
       // Empty critical section orders the notify after the waiter's
       // predicate check.
-      { std::lock_guard<std::mutex> lk(mutex_); }
+      { MutexLock lk(mutex_); }
       done_.notify_all();
     }
   }
 
-  void worker_loop() {
+  void worker_loop() QUGEO_EXCLUDES(mutex_) {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Task> task;
       {
-        std::unique_lock<std::mutex> lk(mutex_);
-        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        MutexLock lk(mutex_);
+        while (!stop_ && generation_ == seen) wake_.wait(mutex_);
         if (stop_) return;
         seen = generation_;
         task = current_;
@@ -176,16 +184,23 @@ class Pool {
     }
   }
 
-  void start_workers() {
-    stop_ = false;
+  void start_workers() QUGEO_REQUIRES(config_mutex_) QUGEO_EXCLUDES(mutex_) {
+    {
+      // stop_ belongs to mutex_, not config_mutex_: a worker surviving
+      // from a previous generation (there are none today, but the lock
+      // discipline should not depend on that) must never observe the
+      // reset without synchronization.
+      MutexLock lk(mutex_);
+      stop_ = false;
+    }
     workers_.reserve(target_threads_ > 0 ? target_threads_ - 1 : 0);
     for (std::size_t i = 1; i < target_threads_; ++i)
       workers_.emplace_back([this] { worker_loop(); });
   }
 
-  void stop_workers() {
+  void stop_workers() QUGEO_REQUIRES(config_mutex_) QUGEO_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -193,16 +208,16 @@ class Pool {
     workers_.clear();
   }
 
-  std::mutex config_mutex_;  ///< guards target_threads_ / worker lifecycle
-  std::size_t target_threads_ = 1;
-  std::vector<std::thread> workers_;
+  Mutex config_mutex_;  ///< guards target_threads_ / worker lifecycle
+  std::size_t target_threads_ QUGEO_GUARDED_BY(config_mutex_) = 1;
+  std::vector<std::thread> workers_ QUGEO_GUARDED_BY(config_mutex_);
 
-  std::mutex mutex_;  ///< guards current_ / generation_ / stop_
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  std::shared_ptr<Task> current_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;  ///< guards current_ / generation_ / stop_
+  CondVar wake_;
+  CondVar done_;
+  std::shared_ptr<Task> current_ QUGEO_GUARDED_BY(mutex_);
+  std::uint64_t generation_ QUGEO_GUARDED_BY(mutex_) = 0;
+  bool stop_ QUGEO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

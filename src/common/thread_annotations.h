@@ -1,0 +1,65 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// Wrappers around the `thread_safety` attribute family so annotated code
+// compiles everywhere: under Clang the macros expand to the real attributes
+// and `-Wthread-safety` (promoted to an error in CI) statically checks every
+// lock acquisition against the declared capability model; under GCC/MSVC
+// they expand to nothing.
+//
+// Use together with the annotated qugeo::Mutex / MutexLock / CondVar
+// wrappers in common/mutex.h — the analysis cannot see through a bare
+// std::mutex, so mutex-protected state must be guarded by the annotated
+// types for QUGEO_GUARDED_BY to mean anything.
+#pragma once
+
+#if defined(__clang__)
+#define QUGEO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QUGEO_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define QUGEO_CAPABILITY(x) QUGEO_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define QUGEO_SCOPED_CAPABILITY QUGEO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define QUGEO_GUARDED_BY(x) QUGEO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define QUGEO_PT_GUARDED_BY(x) QUGEO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities.
+#define QUGEO_REQUIRES(...) \
+  QUGEO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given capabilities and holds them on return.
+#define QUGEO_ACQUIRE(...) \
+  QUGEO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given capabilities (held on entry).
+#define QUGEO_RELEASE(...) \
+  QUGEO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `ret`.
+#define QUGEO_TRY_ACQUIRE(ret, ...) \
+  QUGEO_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the given capabilities
+/// (deadlock prevention for self-locking public APIs).
+#define QUGEO_EXCLUDES(...) QUGEO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the calling context holds the capability (runtime-checked
+/// elsewhere) without acquiring it.
+#define QUGEO_ASSERT_CAPABILITY(x) \
+  QUGEO_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define QUGEO_RETURN_CAPABILITY(x) QUGEO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opt a function out of the analysis entirely. Last resort: every use
+/// should carry a comment explaining why the analysis cannot model it.
+#define QUGEO_NO_THREAD_SAFETY_ANALYSIS \
+  QUGEO_THREAD_ANNOTATION_(no_thread_safety_analysis)

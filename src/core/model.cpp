@@ -22,7 +22,9 @@ QuGeoModel::QuGeoModel(const ModelConfig& config, Rng& init_rng)
 }
 
 std::vector<Real> QuGeoModel::parameters() const {
-  std::vector<Real> p = theta_;
+  std::vector<Real> p;
+  p.reserve(theta_.size() + decoder_->num_classical_params());
+  p.insert(p.end(), theta_.begin(), theta_.end());
   for (std::size_t i = 0; i < decoder_->num_classical_params(); ++i)
     p.push_back(decoder_->classical_param(i));
   return p;

@@ -32,7 +32,7 @@ bool CompiledCircuitCache::matches(const Entry& entry, const Circuit& circuit,
 
 std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
     const Circuit& circuit, BackendKind backend) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (matches(entry, circuit, backend)) {
       ++hits_;
@@ -58,17 +58,17 @@ std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
 }
 
 std::size_t CompiledCircuitCache::compile_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return compiles_;
 }
 
 std::size_t CompiledCircuitCache::hit_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 void CompiledCircuitCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "qsim/circuit.h"
 
 namespace qugeo::qsim {
@@ -43,16 +44,17 @@ class CompiledCircuitCache {
   /// (execute the original). Thread-safe; concurrent misses on the same
   /// key compile once.
   [[nodiscard]] std::shared_ptr<const Circuit> canonical(const Circuit& circuit,
-                                                         BackendKind backend);
+                                                         BackendKind backend)
+      QUGEO_EXCLUDES(mu_);
 
   /// Number of canonicalization runs performed (cache misses).
-  [[nodiscard]] std::size_t compile_count() const;
+  [[nodiscard]] std::size_t compile_count() const QUGEO_EXCLUDES(mu_);
 
   /// Number of lookups served from an existing entry.
-  [[nodiscard]] std::size_t hit_count() const;
+  [[nodiscard]] std::size_t hit_count() const QUGEO_EXCLUDES(mu_);
 
   /// Drop every entry (counters keep accumulating).
-  void clear();
+  void clear() QUGEO_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -67,10 +69,10 @@ class CompiledCircuitCache {
   [[nodiscard]] static bool matches(const Entry& entry, const Circuit& circuit,
                                     BackendKind backend);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::size_t compiles_ = 0;
-  std::size_t hits_ = 0;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ QUGEO_GUARDED_BY(mu_);
+  std::size_t compiles_ QUGEO_GUARDED_BY(mu_) = 0;
+  std::size_t hits_ QUGEO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qugeo::qsim

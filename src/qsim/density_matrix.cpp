@@ -304,7 +304,20 @@ void run_circuit_density(const Circuit& circuit, std::span<const Real> params,
         rho.apply_controlled_1q(gate_matrix(op.kind, vals), op.qubits[0],
                                 op.qubits[1]);
         break;
-      default:
+      case GateKind::kI:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kU3:
         rho.apply_1q(gate_matrix(op.kind, vals), op.qubits[0]);
         break;
     }

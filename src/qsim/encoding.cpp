@@ -92,7 +92,8 @@ Circuit state_prep_circuit(std::span<const Real> data) {
     std::vector<Real> angles;
   };
   std::vector<Level> levels;
-  std::vector<Real> cur = v;
+  levels.reserve(num_qubits);
+  std::vector<Real> cur = std::move(v);
   for (std::size_t q = 0; q < num_qubits; ++q) {
     const std::size_t half = cur.size() / 2;
     std::vector<Real> angles(half), next(half);
@@ -110,6 +111,7 @@ Circuit state_prep_circuit(std::span<const Real> data) {
   for (std::size_t l = levels.size(); l-- > 0;) {
     const auto& lev = levels[l];
     std::vector<Index> controls;
+    controls.reserve(num_qubits - lev.qubit - 1);
     for (std::size_t b = lev.qubit + 1; b < num_qubits; ++b)
       controls.push_back(b);
     append_ucry(c, lev.angles, controls, lev.qubit);

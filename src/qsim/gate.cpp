@@ -17,6 +17,13 @@ Mat2 make(Complex a, Complex b, Complex c, Complex d) {
 
 }  // namespace
 
+// The GateKind dispatch switches below enumerate every kind explicitly —
+// no `default:`. A new enumerator then fails -Wswitch (and qugeo_lint)
+// until each property site has decided what the kind means, instead of
+// silently inheriting a catch-all answer (a new 3-parameter gate falling
+// into a `default: return 0;` would corrupt parameter resolution with no
+// diagnostic anywhere).
+
 int gate_param_count(GateKind kind) noexcept {
   switch (kind) {
     case GateKind::kRX:
@@ -28,9 +35,23 @@ int gate_param_count(GateKind kind) noexcept {
     case GateKind::kU3:
     case GateKind::kCU3:
       return 3;
-    default:
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kSWAP:
+    case GateKind::kFused2Q:
+    case GateKind::kFusedCtl2Q:
       return 0;
   }
+  return 0;
 }
 
 int gate_qubit_count(GateKind kind) noexcept {
@@ -43,9 +64,23 @@ int gate_qubit_count(GateKind kind) noexcept {
     case GateKind::kFused2Q:
     case GateKind::kFusedCtl2Q:
       return 2;
-    default:
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kU3:
       return 1;
   }
+  return 1;
 }
 
 GateClass gate_class(GateKind kind) noexcept {
@@ -64,9 +99,18 @@ GateClass gate_class(GateKind kind) noexcept {
     case GateKind::kY:
     case GateKind::kCX:
       return GateClass::kAntiDiagonal;
-    default:
+    case GateKind::kH:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kU3:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+    case GateKind::kSWAP:       // dispatched before class-based selection
+    case GateKind::kFused2Q:    // 4x4 payloads: dedicated kernels
+    case GateKind::kFusedCtl2Q:
       return GateClass::kGeneric;
   }
+  return GateClass::kGeneric;
 }
 
 bool gate_is_controlled_1q(GateKind kind) noexcept {
@@ -76,9 +120,26 @@ bool gate_is_controlled_1q(GateKind kind) noexcept {
     case GateKind::kCRY:
     case GateKind::kCU3:
       return true;
-    default:
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kU3:
+    case GateKind::kSWAP:
+    case GateKind::kFused2Q:
+    case GateKind::kFusedCtl2Q:
       return false;
   }
+  return false;
 }
 
 std::string_view gate_name(GateKind kind) noexcept {
@@ -207,7 +268,8 @@ Mat2 gate_matrix_deriv(GateKind kind, std::span<const Real> params,
       break;
     }
     default:
-      break;
+      throw std::invalid_argument(
+          "gate_matrix_deriv: kind has no parameter derivative");
   }
   throw std::invalid_argument("gate_matrix_deriv: non-differentiable kind/index");
 }

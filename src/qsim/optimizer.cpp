@@ -16,9 +16,23 @@ bool is_self_inverse(GateKind kind) {
     case GateKind::kCZ:
     case GateKind::kSWAP:
       return true;
-    default:
+    case GateKind::kI:  // identity pairs are dropped earlier, not here
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kU3:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+    case GateKind::kFused2Q:     // payload-dependent: never assume
+    case GateKind::kFusedCtl2Q:
       return false;
   }
+  return false;
 }
 
 bool is_literal_rotation(const Op& op) {
@@ -28,9 +42,26 @@ bool is_literal_rotation(const Op& op) {
     case GateKind::kRZ:
     case GateKind::kPhase:
       return op.param_ids[0] == kLiteralParam;
-    default:
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kU3:  // 3-parameter: no single identity-angle test
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRY:
+    case GateKind::kCU3:
+    case GateKind::kSWAP:
+    case GateKind::kFused2Q:
+    case GateKind::kFusedCtl2Q:
       return false;
   }
+  return false;
 }
 
 bool same_operands(const Op& a, const Op& b) {
@@ -520,8 +551,23 @@ struct CtlCandidate {
         d_touched = true;
         return;
       }
-      default:
-        alive = false;  // SWAP / dense kFused2Q: no block-diagonal form
+      case GateKind::kSWAP:     // permutes the pair: no block-diagonal form
+      case GateKind::kFused2Q:  // dense payload: not control-factorizable
+      case GateKind::kI:        // 1q kinds: absorb_1q territory, never here
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kU3:
+        alive = false;
         return;
     }
   }

@@ -1,0 +1,90 @@
+// qugeo_lint's own coverage: the fixture trees under
+// tools/qugeo_lint/fixtures must fail exactly the check they were built to
+// fail (and the clean fixture must pass everything), and the real repo
+// tree must be clean — the same verdict the `qugeo_lint` CTest entry and
+// the CI lint job enforce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "qugeo_lint/lint.h"
+
+namespace qugeo::lint {
+namespace {
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(QUGEO_LINT_FIXTURES_DIR) / name;
+}
+
+bool any_violation(const std::vector<Violation>& vs, const std::string& rule,
+                   const std::string& message_fragment) {
+  return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+    return v.rule == rule &&
+           v.message.find(message_fragment) != std::string::npos;
+  });
+}
+
+std::string render(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) out += to_string(v) + "\n";
+  return out;
+}
+
+TEST(QugeoLint, CleanFixturePassesEveryCheck) {
+  const auto violations = run_all_checks(fixture("clean"));
+  EXPECT_TRUE(violations.empty()) << render(violations);
+}
+
+TEST(QugeoLint, MissingGateKindCaseFails) {
+  const auto violations = check_gatekind_dispatch(fixture("missing_gatekind"));
+  // The incomplete switch reports the one absent enumerator...
+  EXPECT_TRUE(any_violation(violations, "gatekind-dispatch", "kGamma"))
+      << render(violations);
+  // ...and the handled ones are not reported.
+  EXPECT_FALSE(any_violation(violations, "gatekind-dispatch", "kAlpha"));
+  EXPECT_FALSE(any_violation(violations, "gatekind-dispatch", "kBeta"));
+  // The silent `default:` at the second site is its own finding.
+  EXPECT_TRUE(any_violation(violations, "gatekind-dispatch", "default"))
+      << render(violations);
+  EXPECT_EQ(violations.size(), 2u) << render(violations);
+}
+
+TEST(QugeoLint, UndocumentedEnvVarFailsBothDirections) {
+  const auto violations = check_env_var_docs(fixture("undocumented_env"));
+  EXPECT_TRUE(any_violation(violations, "env-var-docs", "QUGEO_SECRET"))
+      << render(violations);
+  EXPECT_TRUE(any_violation(violations, "env-var-docs", "QUGEO_GHOST"))
+      << render(violations);
+  EXPECT_EQ(violations.size(), 2u) << render(violations);
+}
+
+TEST(QugeoLint, StdRandAndTimeFail) {
+  const auto violations = check_determinism(fixture("uses_rand"));
+  EXPECT_TRUE(any_violation(violations, "determinism", "std::rand"))
+      << render(violations);
+  EXPECT_TRUE(any_violation(violations, "determinism", "time()"))
+      << render(violations);
+  // Exactly two: the comment, the string literal, and the waived line
+  // must not be findings.
+  EXPECT_EQ(violations.size(), 2u) << render(violations);
+}
+
+TEST(QugeoLint, NegativeFixturesAreCleanElsewhere) {
+  // Each negative fixture trips only its target check, so a regression
+  // that cross-fires another rule is visible here.
+  EXPECT_TRUE(check_determinism(fixture("missing_gatekind")).empty());
+  EXPECT_TRUE(check_env_var_docs(fixture("missing_gatekind")).empty());
+  EXPECT_TRUE(check_gatekind_dispatch(fixture("undocumented_env")).empty());
+  EXPECT_TRUE(check_gatekind_dispatch(fixture("uses_rand")).empty());
+}
+
+TEST(QugeoLint, RealRepositoryTreeIsClean) {
+  const auto violations = run_all_checks(QUGEO_REPO_ROOT);
+  EXPECT_TRUE(violations.empty()) << render(violations);
+}
+
+}  // namespace
+}  // namespace qugeo::lint

@@ -1,0 +1,3 @@
+// Fixture micro-bench: includes the JSON-merging main and is named in the
+// fixture CI workflow.
+#include "bench_micro_main.h"

@@ -1,0 +1,32 @@
+// Fixture: a clean tree. Exhaustive dispatch, a throwing default at a
+// second site, a documented env var, and seeded randomness only.
+#include <cstdlib>
+#include <stdexcept>
+
+#include "gate.h"
+
+namespace qugeo::qsim {
+
+int arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAlpha:
+      return 1;
+    case GateKind::kBeta:
+    case GateKind::kGamma:
+      return 2;
+  }
+  return 0;
+}
+
+int rejecting(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAlpha:
+      return 1;
+    default:
+      throw std::invalid_argument("rejecting: unsupported kind");
+  }
+}
+
+const char* demo_env() { return std::getenv("QUGEO_DEMO"); }
+
+}  // namespace qugeo::qsim

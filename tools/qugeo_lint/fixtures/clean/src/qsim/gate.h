@@ -1,0 +1,12 @@
+// Fixture: minimal GateKind enum for qugeo_lint's own tests.
+#pragma once
+
+namespace qugeo::qsim {
+
+enum class GateKind {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,27 @@
+// Fixture: MUST FAIL gatekind-dispatch — kGamma is not handled and there
+// is no rejecting default. A second switch drifts through a silent
+// catch-all, which must fail too.
+#include "gate.h"
+
+namespace qugeo::qsim {
+
+int arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAlpha:
+      return 1;
+    case GateKind::kBeta:
+      return 2;
+  }
+  return 0;
+}
+
+int silent_default(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAlpha:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,12 @@
+// Fixture: enum for the missing-case negative test.
+#pragma once
+
+namespace qugeo::qsim {
+
+enum class GateKind {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+}  // namespace qugeo::qsim

@@ -1,0 +1,9 @@
+// Fixture: MUST FAIL env-var-docs — QUGEO_SECRET is read here but absent
+// from the docs table (and the table's QUGEO_GHOST has no reader).
+#include <cstdlib>
+
+namespace qugeo {
+
+const char* secret() { return std::getenv("QUGEO_SECRET"); }
+
+}  // namespace qugeo

@@ -1,0 +1,22 @@
+// Fixture: MUST FAIL determinism — std::rand() and time() in src/.
+// The commented-out call and the string below must NOT trip the check,
+// and the waived line must pass.
+#include <cstdlib>
+#include <ctime>
+
+namespace qugeo {
+
+// std::rand() in a comment is fine.
+const char* label() { return "call rand() for chaos"; }  // string is fine
+
+double noisy() {
+  return static_cast<double>(std::rand()) / RAND_MAX;
+}
+
+long stamp() { return time(nullptr); }
+
+long waived_stamp() {
+  return time(nullptr);  // qugeo-lint: allow-nondeterminism(fixture waiver)
+}
+
+}  // namespace qugeo

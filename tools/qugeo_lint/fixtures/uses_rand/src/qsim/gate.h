@@ -1,0 +1,10 @@
+// Fixture: no GateKind switches here; the determinism check is the target.
+#pragma once
+
+namespace qugeo::qsim {
+
+enum class GateKind {
+  kAlpha,
+};
+
+}  // namespace qugeo::qsim

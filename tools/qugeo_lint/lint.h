@@ -1,0 +1,66 @@
+// qugeo_lint: repo-specific invariant checker.
+//
+// Generic tooling (compiler warnings, clang-tidy, sanitizers) cannot know
+// the conventions this codebase depends on. qugeo_lint enforces the four
+// that have historically drifted or would fail silently:
+//
+//  1. GateKind dispatch exhaustiveness — every `switch` over GateKind in
+//     src/ must either enumerate every enumerator explicitly (so -Wswitch
+//     guards it too) or reject the remainder loudly: a `default:` is only
+//     legal when its body throws / calls a fail helper, or when it carries
+//     a `qugeo-lint: safe-default(<reason>)` comment.
+//  2. Environment-variable documentation — the set of `QUGEO_*` names
+//     appearing in string literals under src/ and bench/ must exactly
+//     match the env table in docs/ARCHITECTURE.md, in both directions.
+//  3. Micro-bench registration — every bench/bench_micro_*.cpp must
+//     include bench_micro_main.h (the main() that merges its numbers into
+//     BENCH_micro.json) and be named in .github/workflows/ci.yml so the
+//     perf-smoke job actually runs it.
+//  4. Determinism — src/ must not call std::rand/srand/time()/clock()/
+//     std::random_device (seeded qugeo::Rng streams only); a line may opt
+//     out with a `qugeo-lint: allow-nondeterminism(<reason>)` comment.
+//
+// Exposed as a library so the fixture-based tests (tests/
+// test_qugeo_lint.cpp) can run each check against known-bad trees; the
+// main() in main.cpp runs all checks against a real repo root and is
+// registered in CTest and CI.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace qugeo::lint {
+
+/// One rule violation: `rule` is the stable check name, `where` a
+/// file[:line] location, `message` the human-readable finding.
+struct Violation {
+  std::string rule;
+  std::string where;
+  std::string message;
+};
+
+/// Formats as "rule: where: message" (the line format main() prints).
+[[nodiscard]] std::string to_string(const Violation& v);
+
+/// Check 1: GateKind switch exhaustiveness / explicit rejection.
+[[nodiscard]] std::vector<Violation> check_gatekind_dispatch(
+    const std::filesystem::path& repo_root);
+
+/// Check 2: QUGEO_* env vars in source vs the docs/ARCHITECTURE.md table.
+[[nodiscard]] std::vector<Violation> check_env_var_docs(
+    const std::filesystem::path& repo_root);
+
+/// Check 3: bench_micro_* harness registration (JSON merge + CI).
+[[nodiscard]] std::vector<Violation> check_bench_micro_registration(
+    const std::filesystem::path& repo_root);
+
+/// Check 4: nondeterminism sources in src/.
+[[nodiscard]] std::vector<Violation> check_determinism(
+    const std::filesystem::path& repo_root);
+
+/// All checks in order; empty result means the tree is clean.
+[[nodiscard]] std::vector<Violation> run_all_checks(
+    const std::filesystem::path& repo_root);
+
+}  // namespace qugeo::lint

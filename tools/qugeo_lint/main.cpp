@@ -1,0 +1,30 @@
+// qugeo_lint driver: `qugeo_lint <repo-root>` runs every repo invariant
+// check and exits non-zero listing each violation. Registered in CTest
+// (test name `qugeo_lint`) and the CI lint job.
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "qugeo_lint/lint.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: qugeo_lint <repo-root>\n");
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (!std::filesystem::exists(root / "src")) {
+    std::fprintf(stderr, "qugeo_lint: '%s' has no src/ directory\n", argv[1]);
+    return 2;
+  }
+  const std::vector<qugeo::lint::Violation> violations =
+      qugeo::lint::run_all_checks(root);
+  for (const auto& v : violations)
+    std::fprintf(stderr, "%s\n", qugeo::lint::to_string(v).c_str());
+  if (!violations.empty()) {
+    std::fprintf(stderr, "qugeo_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("qugeo_lint: clean\n");
+  return 0;
+}
