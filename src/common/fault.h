@@ -1,0 +1,189 @@
+// Fault-tolerance substrate: error taxonomy, deterministic fault
+// injection, bounded retry with exponential backoff, and graceful-
+// degradation reporting.
+//
+// Error taxonomy. Recoverable failures (a flaky write, an injected glitch)
+// throw TransientError; callers on a recovery path (retry_on_transient)
+// absorb a bounded number of them. Everything that must surface — retry
+// exhaustion, corrupted data, contract violations — is a FatalError and
+// propagates with full context (operation, path, attempt count).
+//
+// Fault injection. Production fault-handling code is dead code until the
+// fault actually happens; this registry makes every fault reproducible on
+// demand. Recovery-relevant code paths are threaded with named sites
+// (`fault::site("checkpoint.read")`); a site is free when nothing is armed
+// (one relaxed atomic load). Arming happens two ways:
+//
+//   * `QUGEO_FAULT=<site>:<nth>[:<count>]` — the nth hit of `site` in this
+//     process (1-based) throws a TransientError, as do the `count - 1`
+//     hits after it (count defaults to 1; `*` or 0 = every hit from nth
+//     on). CI smoke legs use this to prove end-to-end recovery without
+//     touching test code.
+//   * `FaultScope` — RAII arming for tests: counts hits of its site from
+//     construction, disarms (and restores any outer arming) on
+//     destruction. Supports FaultKind::kFatal for testing that fatal
+//     faults propagate instead of being retried.
+//
+// The registered site names are listed in docs/ARCHITECTURE.md
+// ("Fault-site registry"); qugeo-lint enforces that every site appearing
+// in src/ is exercised by at least one test and documented there.
+//
+// Degradation reporting. When a layer falls back to a weaker-but-working
+// mode (an invalid checkpoint slot skipped, the oversize density →
+// statevector substitution), it calls report_degradation; events are
+// logged and recorded so tests — and operators — can see exactly what was
+// given up, instead of the fallback being silent.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qugeo {
+
+/// A failure worth retrying: the same operation may succeed on the next
+/// attempt (I/O glitches, injected faults). Absorbed by
+/// fault::retry_on_transient up to the policy's attempt bound.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A failure that must propagate: corrupted data, violated contracts,
+/// retry exhaustion. Never retried; messages carry full context.
+class FatalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace fault {
+
+enum class FaultKind : std::uint8_t {
+  kTransient,  ///< fires a TransientError (retry paths recover)
+  kFatal,      ///< fires a FatalError (must propagate)
+};
+
+/// One armed injection: fire at the nth hit (1-based) of `site`, and keep
+/// firing for `count` consecutive hits (0 = every hit from nth on).
+struct FaultSpec {
+  std::string site;
+  std::size_t nth = 1;
+  std::size_t count = 1;
+  FaultKind kind = FaultKind::kTransient;
+};
+
+/// Parse the QUGEO_FAULT grammar `<site>:<nth>[:<count>]` (count accepts
+/// `*` for "forever"). Throws std::invalid_argument on malformed specs.
+[[nodiscard]] FaultSpec parse_fault_spec(std::string_view spec);
+
+/// Injection point: no-op unless a matching FaultSpec is armed (via
+/// QUGEO_FAULT or a live FaultScope), in which case the armed hit throws.
+/// The unarmed fast path is one relaxed atomic load — safe on hot paths.
+void site(const char* name);
+
+/// True when any spec (env or scope) is currently armed. Cheap.
+[[nodiscard]] bool any_fault_armed() noexcept;
+
+/// Re-read QUGEO_FAULT, replacing any previously env-armed spec and
+/// resetting its hit counter. Tests use this after setenv; normal code
+/// never needs it (the env is read once, lazily, at the first site hit).
+void reload_from_env();
+
+/// RAII test arming: counts hits of `spec.site` from construction and
+/// disarms on destruction. Scopes nest; every live scope is checked, so
+/// two scopes on different sites can be armed at once.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultSpec spec);
+  FaultScope(std::string site_name, std::size_t nth, std::size_t count = 1,
+             FaultKind kind = FaultKind::kTransient);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// Hits of this scope's site observed since construction (fired or not).
+  [[nodiscard]] std::size_t hits() const;
+
+ private:
+  std::size_t id_;
+};
+
+// ---------------------------------------------------------------- retry --
+
+/// Bounded exponential backoff: attempt k (1-based) failing transiently
+/// waits initial_delay * multiplier^(k-1), capped at max_delay, before
+/// attempt k+1; after max_attempts the retry gives up. The defaults keep
+/// test latency negligible while still exercising the real sleep path.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  std::chrono::milliseconds initial_delay{1};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_delay{50};
+  /// Test hook: when set, called instead of sleeping with (attempt,
+  /// delay) for every retry — lets unit tests pin the backoff sequence
+  /// without waiting it out.
+  std::function<void(std::size_t attempt, std::chrono::milliseconds delay)>
+      on_retry;
+};
+
+/// The delay sequence a policy produces: one entry per possible retry
+/// (max_attempts - 1 entries). Pure — the unit-testable core of the
+/// backoff schedule.
+[[nodiscard]] std::vector<std::chrono::milliseconds> backoff_delays(
+    const RetryPolicy& policy);
+
+namespace detail {
+/// Sleep (or notify the test hook) before the next attempt.
+void wait_before_retry(const RetryPolicy& policy, std::size_t attempt,
+                       std::chrono::milliseconds delay);
+}  // namespace detail
+
+/// Run `fn`, absorbing TransientError up to policy.max_attempts attempts
+/// with exponential backoff between them. On exhaustion throws FatalError
+/// naming `what`, the attempt count, and the last transient failure.
+/// FatalError (and any non-transient exception) propagates immediately —
+/// retrying cannot fix it.
+template <typename Fn>
+auto retry_on_transient(std::string_view what, const RetryPolicy& policy,
+                        Fn&& fn) -> decltype(fn()) {
+  const std::vector<std::chrono::milliseconds> delays = backoff_delays(policy);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientError& e) {
+      if (attempt >= policy.max_attempts || policy.max_attempts == 0)
+        throw FatalError(std::string(what) + ": giving up after " +
+                         std::to_string(attempt) +
+                         " attempt(s); last transient error: " + e.what());
+      detail::wait_before_retry(policy, attempt, delays[attempt - 1]);
+    }
+  }
+}
+
+// ---------------------------------------------------- degradation ladder --
+
+/// One recorded fallback: `component` names the subsystem ("checkpoint",
+/// "backend"), `detail` says what was degraded and why.
+struct DegradationEvent {
+  std::string component;
+  std::string detail;
+};
+
+/// Record (and log at warn level) that a subsystem fell back to a
+/// weaker-but-working mode instead of failing. Thread-safe.
+void report_degradation(std::string component, std::string detail);
+
+/// Snapshot of recorded events, oldest first (bounded; the newest events
+/// win if the bound is hit). Tests assert on these.
+[[nodiscard]] std::vector<DegradationEvent> degradation_events();
+
+/// Clear the recorded events (test isolation).
+void clear_degradation_events();
+
+}  // namespace fault
+}  // namespace qugeo

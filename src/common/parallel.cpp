@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -148,6 +149,7 @@ class Pool {
         std::size_t hi = lo + task.chunk;
         if (hi > task.end) hi = task.end;
         try {
+          fault::site("pool.task");
           task.body(lo, hi);
         } catch (...) {
           MutexLock elk(task.error_mutex);

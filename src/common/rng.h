@@ -13,6 +13,16 @@
 
 namespace qugeo {
 
+/// Complete serializable generator state: the four xoshiro256** words
+/// plus the Box-Muller carry. Restoring it resumes the stream
+/// bit-identically mid-sequence — the contract training checkpoints
+/// (core/serialization) rely on.
+struct RngState {
+  std::uint64_t s[4] = {};
+  bool has_cached_normal = false;
+  Real cached_normal = 0;
+};
+
 /// xoshiro256** PRNG — fast, high quality, and fully deterministic across
 /// platforms (unlike std::mt19937 distributions, which are
 /// implementation-defined for reals in some standard libraries).
@@ -22,6 +32,12 @@ class Rng {
 
   /// Re-initialize the state from a 64-bit seed via splitmix64 expansion.
   void reseed(std::uint64_t seed);
+
+  /// Snapshot the full generator state (checkpointing).
+  [[nodiscard]] RngState state() const;
+
+  /// Restore a snapshot; the stream continues exactly where it left off.
+  void set_state(const RngState& state);
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

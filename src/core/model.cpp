@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "qsim/executor.h"
 #include "qsim/observables.h"
@@ -71,9 +72,19 @@ std::vector<Real> QuGeoModel::run_forward_probabilities(
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   chunk_exec.seed = z ^ (z >> 31);
-  const auto backend = qsim::make_backend(chunk_exec, layout_.total_qubits());
-  backend->run(ansatz_, theta_, encoder_.encode(waves));
-  return backend->probabilities();
+  // Transient execution faults (injected via common/fault, or a future
+  // remote/accelerated backend hiccuping) retry with exponential backoff;
+  // each attempt rebuilds the backend and re-encodes from scratch so no
+  // partially-evolved state leaks across attempts. Exhaustion surfaces as
+  // FatalError naming the stream and attempt count.
+  return fault::retry_on_transient(
+      "circuit execution (chunk stream " + std::to_string(stream) + ")",
+      fault::RetryPolicy{}, [&]() -> std::vector<Real> {
+        const auto backend =
+            qsim::make_backend(chunk_exec, layout_.total_qubits());
+        backend->run(ansatz_, theta_, encoder_.encode(waves));
+        return backend->probabilities();
+      });
 }
 
 std::vector<std::vector<Real>> QuGeoModel::predict(

@@ -1,37 +1,38 @@
 #include "core/trainer.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "core/serialization.h"
 #include "metrics/image_metrics.h"
+#include "nn/optimizer.h"
 #include "nn/schedule.h"
 
 namespace qugeo::core {
-namespace {
 
-/// Adam over a flat parameter vector (the VQC angle table + decoder scale).
-class AdamVec {
- public:
-  explicit AdamVec(std::size_t n) : m_(n, 0), v_(n, 0) {}
-
-  void step(std::span<Real> params, std::span<const Real> grads, Real lr) {
-    ++t_;
-    const Real bc1 = Real(1) - std::pow(Real(0.9), static_cast<Real>(t_));
-    const Real bc2 = Real(1) - std::pow(Real(0.999), static_cast<Real>(t_));
-    for (std::size_t k = 0; k < params.size(); ++k) {
-      m_[k] = Real(0.9) * m_[k] + Real(0.1) * grads[k];
-      v_[k] = Real(0.999) * v_[k] + Real(0.001) * grads[k] * grads[k];
-      params[k] -= lr * (m_[k] / bc1) / (std::sqrt(v_[k] / bc2) + Real(1e-8));
+TrainConfig apply_train_env_overrides(TrainConfig base) {
+  if (const char* path = std::getenv("QUGEO_CHECKPOINT")) {
+    if (*path != '\0') {
+      base.checkpoint_path = path;
+      if (base.checkpoint_every == 0) base.checkpoint_every = 1;
     }
   }
-
- private:
-  std::size_t t_ = 0;
-  std::vector<Real> m_, v_;
-};
-
-}  // namespace
+  if (const char* every = std::getenv("QUGEO_CHECKPOINT_EVERY")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(every, &end, 10);
+    if (end == every || *end != '\0' || v == 0)
+      throw std::invalid_argument(
+          std::string("QUGEO_CHECKPOINT_EVERY: expected a positive epoch "
+                      "interval, got '") +
+          every + "'");
+    base.checkpoint_every = static_cast<std::size_t>(v);
+  }
+  return base;
+}
 
 EvalMetrics evaluate_predictions(const std::vector<std::vector<Real>>& preds,
                                  const data::ScaledDataset& ds,
@@ -59,16 +60,68 @@ EvalMetrics evaluate_model(const QuGeoModel& model, const data::ScaledDataset& d
 }
 
 TrainResult train_model(QuGeoModel& model, const data::ScaledDataset& ds,
-                        const data::SplitView& split, const TrainConfig& config) {
+                        const data::SplitView& split,
+                        const TrainConfig& config_in) {
+  const TrainConfig config = apply_train_env_overrides(config_in);
   TrainResult result;
   std::vector<Real> params = model.parameters();
-  AdamVec opt(params.size());
+  nn::AdamFlat opt(params.size());
   const nn::CosineAnnealingLr schedule(config.initial_lr, config.epochs);
   Rng shuffle_rng(config.shuffle_seed);
   const std::size_t bs = model.batch_size();
 
+  const bool ckpt_on =
+      !config.checkpoint_path.empty() && config.checkpoint_every > 0;
+  const std::uint64_t model_fp = model_fingerprint(model.config());
+  const std::uint64_t train_fp = train_fingerprint(config);
+  const std::size_t keep = std::max<std::size_t>(1, config.checkpoint_keep);
+
+  std::size_t start_epoch = 0;
+  if (ckpt_on && config.resume) {
+    if (auto ck = find_resume_checkpoint(config.checkpoint_path, keep,
+                                         model_fp, train_fp)) {
+      params = std::move(ck->params);
+      model.set_parameters(params);
+      opt.restore({ck->adam_t, std::move(ck->adam_m), std::move(ck->adam_v)});
+      shuffle_rng.set_state(ck->shuffle_rng);
+      result.curve = std::move(ck->curve);
+      start_epoch = static_cast<std::size_t>(ck->epochs_completed);
+      result.resumed_from_epoch = start_epoch;
+      log_info("train_model: resumed from checkpoint at epoch ", start_epoch,
+               "/", config.epochs);
+    }
+  }
+
+  // A checkpoint captures the state *between* epochs: the shuffle-RNG
+  // state recorded here has already consumed this epoch's permutation
+  // draw, so a resumed run replays exactly the sequence an uninterrupted
+  // run would have produced.
+  const auto write_checkpoint = [&](std::size_t epochs_completed) {
+    TrainCheckpoint ck;
+    ck.model_fp = model_fp;
+    ck.train_fp = train_fp;
+    ck.epochs_completed = epochs_completed;
+    ck.shuffle_rng = shuffle_rng.state();
+    nn::AdamFlat::State opt_state = opt.state();
+    ck.adam_t = opt_state.t;
+    ck.adam_m = std::move(opt_state.m);
+    ck.adam_v = std::move(opt_state.v);
+    ck.params = params;
+    ck.curve = result.curve;
+    // Slot index depends only on the completed-epoch count, so a resumed
+    // run rotates through the same files as an uninterrupted one.
+    const std::size_t slot =
+        (epochs_completed / config.checkpoint_every) % keep;
+    const std::filesystem::path path =
+        checkpoint_slot_path(config.checkpoint_path, slot);
+    fault::retry_on_transient(
+        "checkpoint write to " + path.string(), fault::RetryPolicy{},
+        [&] { save_train_checkpoint(path, ck); });
+  };
+
   std::vector<Real> grads(params.size());
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (std::size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    fault::site("trainer.epoch");
     const auto order = shuffle_rng.permutation(split.train.size());
     Real epoch_loss = 0;
     std::size_t seen = 0;
@@ -120,6 +173,11 @@ TrainResult train_model(QuGeoModel& model, const data::ScaledDataset& ds,
       log_info("train_model: epoch ", epoch + 1, "/", config.epochs,
                " loss=", rec.train_loss, " ssim=", rec.test_ssim,
                " mse=", rec.test_mse);
+
+    const std::size_t completed = epoch + 1;
+    if (ckpt_on && (completed % config.checkpoint_every == 0 ||
+                    completed == config.epochs))
+      write_checkpoint(completed);
   }
 
   if (!result.curve.empty()) {

@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace qugeo::nn {
 
@@ -53,6 +54,31 @@ void Adam::step(Real lr) {
       val[k] -= lr * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void AdamFlat::step(std::span<Real> params, std::span<const Real> grads,
+                    Real lr) {
+  ++t_;
+  const Real bc1 = Real(1) - std::pow(Real(0.9), static_cast<Real>(t_));
+  const Real bc2 = Real(1) - std::pow(Real(0.999), static_cast<Real>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    m_[k] = Real(0.9) * m_[k] + Real(0.1) * grads[k];
+    v_[k] = Real(0.999) * v_[k] + Real(0.001) * grads[k] * grads[k];
+    params[k] -= lr * (m_[k] / bc1) / (std::sqrt(v_[k] / bc2) + Real(1e-8));
+  }
+}
+
+AdamFlat::State AdamFlat::state() const { return {t_, m_, v_}; }
+
+void AdamFlat::restore(const State& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size())
+    throw std::invalid_argument(
+        "AdamFlat::restore: moment size mismatch (checkpoint holds " +
+        std::to_string(state.m.size()) + ", optimizer expects " +
+        std::to_string(m_.size()) + ")");
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
 }
 
 }  // namespace qugeo::nn

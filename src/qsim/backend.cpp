@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "qsim/compile_cache.h"
 #include "qsim/executor.h"
@@ -132,12 +133,14 @@ Index StatevectorBackend::num_qubits() const noexcept {
 }
 
 void StatevectorBackend::prepare(Index num_qubits) {
+  fault::site("backend.prepare");
   psi_ = StateVector(num_qubits);
 }
 
 void StatevectorBackend::run(const Circuit& circuit,
                              std::span<const Real> params,
                              StateVector initial_state) {
+  fault::site("backend.run");
   psi_ = std::move(initial_state);
   std::shared_ptr<const Circuit> keepalive;
   std::optional<Circuit> local;
@@ -168,6 +171,7 @@ Index DensityMatrixBackend::num_qubits() const noexcept {
 }
 
 void DensityMatrixBackend::prepare(Index num_qubits) {
+  fault::site("backend.prepare");
   if (rho_ && rho_->num_qubits() == num_qubits)
     rho_->reset();
   else
@@ -177,6 +181,7 @@ void DensityMatrixBackend::prepare(Index num_qubits) {
 void DensityMatrixBackend::run(const Circuit& circuit,
                                std::span<const Real> params,
                                StateVector initial_state) {
+  fault::site("backend.run");
   if (!rho_ || rho_->num_qubits() != initial_state.num_qubits())
     rho_.emplace(initial_state.num_qubits());
   rho_->set_from_state(initial_state);
@@ -226,6 +231,7 @@ TrajectoryBackend::TrajectoryBackend(const ExecutionConfig& config)
 Index TrajectoryBackend::num_qubits() const noexcept { return num_qubits_; }
 
 void TrajectoryBackend::prepare(Index num_qubits) {
+  fault::site("backend.prepare");
   num_qubits_ = num_qubits;
   mean_probs_.assign(Index{1} << num_qubits, Real(0));
   mean_probs_[0] = Real(1);
@@ -234,6 +240,7 @@ void TrajectoryBackend::prepare(Index num_qubits) {
 void TrajectoryBackend::run(const Circuit& circuit,
                             std::span<const Real> params,
                             StateVector initial_state) {
+  fault::site("backend.run");
   num_qubits_ = initial_state.num_qubits();
   const Index dim = initial_state.dim();
 
@@ -380,6 +387,12 @@ std::unique_ptr<Backend> make_backend(const ExecutionConfig& config,
         if (inner_cfg.noise.is_trivial()) {
           // Exact substitution: a trivial channel degenerates to unitary
           // evolution, which the statevector computes at O(2^n).
+          fault::report_degradation(
+              "backend", "density-matrix request for " +
+                             std::to_string(num_qubits) + " qubits exceeds " +
+                             std::to_string(max_density_qubits()) +
+                             "; substituting the exact statevector engine "
+                             "(noise channel is trivial)");
           inner = std::make_unique<StatevectorBackend>(inner_cfg);
           break;
         }

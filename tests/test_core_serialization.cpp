@@ -1,7 +1,10 @@
-// Model checkpointing: round trip, fingerprint mismatch rejection.
+// Model checkpointing: round trip, fingerprint mismatch rejection, and
+// the error-message contract (path, expected-vs-stored fingerprint,
+// parameter counts).
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
 
 #include "core/serialization.h"
 
@@ -86,6 +89,49 @@ TEST_F(SerializationTest, MissingFileThrows) {
   Rng rng(5);
   QuGeoModel m(small_config(), rng);
   EXPECT_THROW(load_model(dir_ / "absent.qgt", m), std::runtime_error);
+}
+
+TEST_F(SerializationTest, MismatchMessageNamesPathAndFingerprints) {
+  Rng rng(6);
+  QuGeoModel a(small_config(), rng);
+  save_model(dir_ / "a.qgt", a);
+
+  ModelConfig other = small_config();
+  other.ansatz.blocks = 3;
+  QuGeoModel b(other, rng);
+  try {
+    load_model(dir_ / "a.qgt", b);
+    FAIL() << "mismatch must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("a.qgt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(model_fingerprint(a.config()))),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(model_fingerprint(other))),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST_F(SerializationTest, TrainFingerprintTracksHyperparameters) {
+  TrainConfig base;
+  EXPECT_EQ(train_fingerprint(base), train_fingerprint(base));
+  TrainConfig epochs = base;
+  epochs.epochs += 1;
+  EXPECT_NE(train_fingerprint(base), train_fingerprint(epochs));
+  TrainConfig lr = base;
+  lr.initial_lr *= 0.5;
+  EXPECT_NE(train_fingerprint(base), train_fingerprint(lr));
+  TrainConfig seed = base;
+  seed.shuffle_seed += 1;
+  EXPECT_NE(train_fingerprint(base), train_fingerprint(seed));
+  // Checkpoint knobs must NOT change the fingerprint: resuming with a
+  // different rotation depth or interval is the same optimization run.
+  TrainConfig knobs = base;
+  knobs.checkpoint_every = 7;
+  knobs.checkpoint_keep = 9;
+  EXPECT_EQ(train_fingerprint(base), train_fingerprint(knobs));
 }
 
 }  // namespace

@@ -72,6 +72,26 @@ TEST(QugeoLint, StdRandAndTimeFail) {
   EXPECT_EQ(violations.size(), 2u) << render(violations);
 }
 
+TEST(QugeoLint, UntestedFaultSiteFailsBothWays) {
+  const auto violations =
+      check_fault_site_coverage(fixture("untested_fault_site"));
+  // The uncovered site is reported twice: no test injects into it, and
+  // the docs registry does not list it.
+  EXPECT_TRUE(any_violation(violations, "fault-site-coverage",
+                            "\"demo.untested\" is registered in src/ but no "
+                            "test"))
+      << render(violations);
+  EXPECT_TRUE(any_violation(violations, "fault-site-coverage",
+                            "\"demo.untested\" is missing from the "
+                            "docs/ARCHITECTURE.md"))
+      << render(violations);
+  // The covered site and the commented-out one produce nothing.
+  EXPECT_FALSE(any_violation(violations, "fault-site-coverage", "demo.covered"));
+  EXPECT_FALSE(
+      any_violation(violations, "fault-site-coverage", "demo.commented-out"));
+  EXPECT_EQ(violations.size(), 2u) << render(violations);
+}
+
 TEST(QugeoLint, NegativeFixturesAreCleanElsewhere) {
   // Each negative fixture trips only its target check, so a regression
   // that cross-fires another rule is visible here.
@@ -79,6 +99,12 @@ TEST(QugeoLint, NegativeFixturesAreCleanElsewhere) {
   EXPECT_TRUE(check_env_var_docs(fixture("missing_gatekind")).empty());
   EXPECT_TRUE(check_gatekind_dispatch(fixture("undocumented_env")).empty());
   EXPECT_TRUE(check_gatekind_dispatch(fixture("uses_rand")).empty());
+  EXPECT_TRUE(check_fault_site_coverage(fixture("missing_gatekind")).empty());
+  EXPECT_TRUE(check_fault_site_coverage(fixture("uses_rand")).empty());
+  EXPECT_TRUE(check_env_var_docs(fixture("untested_fault_site")).empty());
+  EXPECT_TRUE(check_determinism(fixture("untested_fault_site")).empty());
+  EXPECT_TRUE(
+      check_gatekind_dispatch(fixture("untested_fault_site")).empty());
 }
 
 TEST(QugeoLint, RealRepositoryTreeIsClean) {

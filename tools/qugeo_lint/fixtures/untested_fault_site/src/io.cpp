@@ -1,0 +1,11 @@
+// Fixture: two registered fault sites, one covered by the fixture's test
+// and docs, one covered by neither (the check must flag it twice).
+namespace fault {
+void site(const char*);
+}
+
+void write_things() {
+  fault::site("demo.covered");
+  fault::site("demo.untested");
+  // fault::site("demo.commented-out") must not count as registered.
+}

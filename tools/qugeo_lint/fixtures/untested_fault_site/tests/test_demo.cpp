@@ -1,0 +1,5 @@
+// Fixture test: injects into demo.covered only.
+int main() {
+  const char* spec = "demo.covered";
+  return spec == nullptr;
+}

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 namespace qugeo::lint {
 namespace fs = std::filesystem;
@@ -391,6 +393,66 @@ std::vector<Violation> check_determinism_impl(const fs::path& root) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Check 5: fault-site coverage
+// ---------------------------------------------------------------------------
+
+/// Registered injection points: `fault::site("<name>")` literals in src/,
+/// first occurrence wins for the report location. Comments are stripped,
+/// so a commented-out site does not count as registered.
+std::vector<std::pair<std::string, std::string>> fault_sites_in_src(
+    const fs::path& root) {
+  std::vector<std::pair<std::string, std::string>> sites;  // name -> where
+  constexpr std::string_view kNeedle = "fault::site(\"";
+  for (const fs::path& file : source_files(root / "src")) {
+    const std::string text = strip_comments(read_file(file), true);
+    std::size_t pos = 0;
+    while ((pos = text.find(kNeedle, pos)) != std::string::npos) {
+      const std::size_t begin = pos + kNeedle.size();
+      const std::size_t end = text.find('"', begin);
+      if (end == std::string::npos) break;
+      const std::string name = text.substr(begin, end - begin);
+      const bool seen = std::any_of(
+          sites.begin(), sites.end(),
+          [&](const auto& s) { return s.first == name; });
+      if (!seen)
+        sites.emplace_back(
+            name, rel(file, root) + ":" + std::to_string(line_of(text, pos)));
+      pos = end;
+    }
+  }
+  return sites;
+}
+
+std::vector<Violation> check_fault_site_coverage_impl(const fs::path& root) {
+  std::vector<Violation> out;
+  const auto sites = fault_sites_in_src(root);
+  if (sites.empty()) return out;
+
+  std::string tests_text;
+  for (const fs::path& file : source_files(root / "tests"))
+    tests_text += strip_comments(read_file(file), true);
+  const fs::path doc = root / "docs" / "ARCHITECTURE.md";
+  const std::string doc_text = fs::exists(doc) ? read_file(doc) : std::string();
+
+  for (const auto& [name, where] : sites) {
+    // A test covers a site by naming it in a string literal — as a
+    // FaultScope/QUGEO_FAULT spec, or an exact-site assertion.
+    if (tests_text.find("\"" + name + "\"") == std::string::npos &&
+        tests_text.find(name + ":") == std::string::npos)
+      out.push_back({"fault-site-coverage", where,
+                     "fault site \"" + name +
+                         "\" is registered in src/ but no test under tests/ "
+                         "injects into it"});
+    if (doc_text.find("`" + name + "`") == std::string::npos)
+      out.push_back({"fault-site-coverage", where,
+                     "fault site \"" + name +
+                         "\" is missing from the docs/ARCHITECTURE.md "
+                         "fault-site registry"});
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(const Violation& v) {
@@ -414,10 +476,16 @@ std::vector<Violation> check_determinism(const fs::path& repo_root) {
   return check_determinism_impl(repo_root);
 }
 
+std::vector<Violation> check_fault_site_coverage(const fs::path& repo_root) {
+  return check_fault_site_coverage_impl(repo_root);
+}
+
 std::vector<Violation> run_all_checks(const fs::path& repo_root) {
   std::vector<Violation> all;
-  for (auto* check : {&check_gatekind_dispatch, &check_env_var_docs,
-                      &check_bench_micro_registration, &check_determinism}) {
+  for (auto* check :
+       {&check_gatekind_dispatch, &check_env_var_docs,
+        &check_bench_micro_registration, &check_determinism,
+        &check_fault_site_coverage}) {
     auto found = (*check)(repo_root);
     all.insert(all.end(), found.begin(), found.end());
   }

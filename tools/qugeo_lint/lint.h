@@ -19,6 +19,11 @@
 //  4. Determinism — src/ must not call std::rand/srand/time()/clock()/
 //     std::random_device (seeded qugeo::Rng streams only); a line may opt
 //     out with a `qugeo-lint: allow-nondeterminism(<reason>)` comment.
+//  5. Fault-site coverage — every `fault::site("<name>")` registered in
+//     src/ must be exercised by at least one test under tests/ (the quoted
+//     name appears there) and listed in the docs/ARCHITECTURE.md fault-site
+//     registry; an injection point nobody injects into is dead robustness
+//     code.
 //
 // Exposed as a library so the fixture-based tests (tests/
 // test_qugeo_lint.cpp) can run each check against known-bad trees; the
@@ -57,6 +62,11 @@ struct Violation {
 
 /// Check 4: nondeterminism sources in src/.
 [[nodiscard]] std::vector<Violation> check_determinism(
+    const std::filesystem::path& repo_root);
+
+/// Check 5: every fault::site("...") in src/ is covered by a test and
+/// documented in the ARCHITECTURE.md fault-site registry.
+[[nodiscard]] std::vector<Violation> check_fault_site_coverage(
     const std::filesystem::path& repo_root);
 
 /// All checks in order; empty result means the tree is clean.
