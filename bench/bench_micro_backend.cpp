@@ -4,6 +4,8 @@
 // the NISQ ablation. Merges into BENCH_micro.json like every micro suite.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_micro_main.h"
 
 #include "common/rng.h"
@@ -42,6 +44,14 @@ void run_backend_bench(benchmark::State& state, const qsim::ExecutionConfig& cfg
     backend->run(fx.circuit, fx.params);
     benchmark::DoNotOptimize(backend->probabilities().data());
   }
+  // Throughput in ansatz gate applications per second (trajectory backends
+  // replay the circuit once per trajectory).
+  const std::size_t replays = cfg.backend == qsim::BackendKind::kTrajectory
+                                  ? std::max<std::size_t>(cfg.trajectories, 1)
+                                  : 1;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.circuit.num_ops()) *
+                          static_cast<std::int64_t>(replays));
   state.counters["gate_ops"] = static_cast<double>(fx.circuit.num_ops());
 }
 

@@ -48,6 +48,10 @@ void BM_FullScaleShot(benchmark::State& state) {
     const auto g = seismic::simulate_shot(m, {0, 35}, w, rec, cfg);
     benchmark::DoNotOptimize(g.data().data());
   }
+  // Grid-cell updates per second across the full time loop.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.nt) *
+                          static_cast<std::int64_t>(70 * 70));
 }
 BENCHMARK(BM_FullScaleShot)->Unit(benchmark::kMillisecond);
 
@@ -56,10 +60,15 @@ void BM_QuantumScaleRemodel(benchmark::State& state) {
   Rng rng(2);
   const auto m = seismic::generate_flatvel(seismic::FlatVelConfig{}, rng);
   const seismic::Acquisition acq = seismic::quantum_acquisition();
+  std::size_t values = 0;
   for (auto _ : state) {
     const auto d = seismic::physics_guided_remodel(m, 8, 8, acq, 8);
     benchmark::DoNotOptimize(d.data().data());
+    values = d.data().size();
   }
+  // Remodeled data values (shots x receivers x samples) produced per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values));
 }
 BENCHMARK(BM_QuantumScaleRemodel)->Unit(benchmark::kMillisecond);
 
@@ -70,6 +79,9 @@ void BM_FlatVelGeneration(benchmark::State& state) {
     const auto m = seismic::generate_flatvel(cfg, rng);
     benchmark::DoNotOptimize(m.data().data());
   }
+  // Velocity-model cells generated per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.nz * cfg.nx));
 }
 BENCHMARK(BM_FlatVelGeneration);
 

@@ -117,6 +117,9 @@ void BM_CanonicalizeAnsatz(benchmark::State& state) {
     const qsim::Circuit canon = qsim::canonicalize_for_backend(c);
     benchmark::DoNotOptimize(canon.num_ops());
   }
+  // Source ops canonicalized per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.num_ops()));
 }
 BENCHMARK(BM_CanonicalizeAnsatz);
 
@@ -129,6 +132,8 @@ void BM_CompiledCacheHit(benchmark::State& state) {
     auto canon = cache.canonical(c, qsim::BackendKind::kStatevector);
     benchmark::DoNotOptimize(canon.get());
   }
+  // Cache lookups served per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CompiledCacheHit);
 

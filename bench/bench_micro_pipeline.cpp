@@ -85,6 +85,9 @@ void BM_CnnBaselineStep(benchmark::State& state) {
     const auto r = net.train(ds, split, tc);
     benchmark::DoNotOptimize(r.final_mse);
   }
+  // Samples trained per second (one epoch over the dataset per iteration).
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.samples.size()));
 }
 BENCHMARK(BM_CnnBaselineStep)->Unit(benchmark::kMicrosecond);
 
@@ -99,6 +102,8 @@ void BM_Ssim8x8(benchmark::State& state) {
     const Real s = metrics::ssim(a, b, 8, 8, opts);
     benchmark::DoNotOptimize(s);
   }
+  // Pixels compared per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_Ssim8x8);
 

@@ -62,6 +62,9 @@ void BM_ShotBackendForward(benchmark::State& state) {
     backend->run(circuit, params);
     benchmark::DoNotOptimize(backend->probabilities().data());
   }
+  // Shots drawn per second (the statevector forward is amortized across them).
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.shots));
   state.counters["gate_ops"] = static_cast<double>(circuit.num_ops());
 }
 BENCHMARK(BM_ShotBackendForward)->Arg(1024)->Arg(4096);

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "qsim/circuit.h"
 #include "qsim/density_matrix.h"
 #include "qsim/noise.h"
@@ -84,15 +85,30 @@ struct ExecutionConfig {
   /// execution probes (and, if fusable, re-fuses) its circuit locally.
   /// QuGeoModel owns one per model and injects it for every predict call.
   std::shared_ptr<CompiledCircuitCache> compile_cache;
+  /// Kernel dispatch mode for this execution (common/cpu_features.h). kAuto
+  /// defers to the process default (the QUGEO_SIMD environment mode, or the
+  /// CPU probe); kScalar forces the bit-exact reference kernels; kAvx2
+  /// forces the intrinsic variants (degrading gracefully to scalar when the
+  /// binary/CPU cannot run them). Backends realize a non-auto mode through
+  /// thread-local ScopedSimdMode overrides, so concurrent executions with
+  /// different modes do not race.
+  simd::SimdMode simd = simd::SimdMode::kAuto;
+  /// Batched-execution width: how many independent states one gate
+  /// dispatch should sweep (BatchedStateVector lanes). 1 executes states
+  /// one at a time (the pre-batching path, bit-identical); QuGeoModel
+  /// groups the samples of each QuBatch chunk and TrajectoryBackend groups
+  /// its trajectories up to this many lanes.
+  std::size_t batch = 1;
 };
 
 /// Environment overrides for smoke runs and CI: QUGEO_BACKEND
 /// ("statevector" | "density" | "trajectory" | "shot"), QUGEO_NOISE_P
 /// (real), QUGEO_NOISE_CHANNEL ("depolarizing" | "amplitude_damping" |
 /// "phase_damping"), QUGEO_READOUT_P (real), QUGEO_TRAJECTORIES (integer),
-/// QUGEO_SHOTS (integer, 0 = exact), QUGEO_FUSION ("on"/"off"). Unset
-/// variables leave `base` untouched. The full reference table lives in
-/// docs/ARCHITECTURE.md.
+/// QUGEO_SHOTS (integer, 0 = exact), QUGEO_FUSION ("on"/"off"), QUGEO_SIMD
+/// ("auto" | "avx2" | "scalar"), QUGEO_BATCH (positive integer lane count).
+/// Unset variables leave `base` untouched. The full reference table lives
+/// in docs/ARCHITECTURE.md.
 [[nodiscard]] ExecutionConfig apply_env_overrides(ExecutionConfig base);
 
 /// \brief A stateful execution engine: prepare (or inject) a state, run a
@@ -140,6 +156,21 @@ class Backend {
     run(circuit, params, StateVector(circuit.num_qubits()));
   }
 
+  /// \brief Execute the circuit once per initial state and return each
+  /// run's Born probabilities, in input order.
+  ///
+  /// The base implementation loops run() + probabilities() — semantically
+  /// the reference for every override, which must match it per state
+  /// (bit-identically in scalar mode). StatevectorBackend overrides it
+  /// with a genuinely batched sweep (BatchedStateVector: one gate dispatch
+  /// advances all states). After the call the backend's current state is
+  /// the LAST executed state, exactly as if run() had been called in a
+  /// loop.
+  [[nodiscard]] virtual std::vector<std::vector<Real>>
+  run_batched_probabilities(const Circuit& circuit,
+                            std::span<const Real> params,
+                            std::vector<StateVector> initial_states);
+
   /// Born probabilities of the executed state (for the trajectory backend:
   /// the trajectory-averaged distribution, an unbiased estimate of the
   /// channel's diagonal).
@@ -165,6 +196,9 @@ class StatevectorBackend final : public Backend {
   using Backend::run;
   void run(const Circuit& circuit, std::span<const Real> params,
            StateVector initial_state) override;
+  [[nodiscard]] std::vector<std::vector<Real>> run_batched_probabilities(
+      const Circuit& circuit, std::span<const Real> params,
+      std::vector<StateVector> initial_states) override;
   [[nodiscard]] std::vector<Real> probabilities() const override;
   [[nodiscard]] std::vector<Real> expect_z(
       std::span<const Index> qubits) const override;
@@ -176,6 +210,7 @@ class StatevectorBackend final : public Backend {
   StateVector psi_;
   bool fusion_;
   std::shared_ptr<CompiledCircuitCache> cache_;
+  simd::SimdMode simd_;
 };
 
 class DensityMatrixBackend final : public Backend {
@@ -232,6 +267,13 @@ class TrajectoryBackend final : public Backend {
   std::uint64_t seed_;
   bool fusion_;
   std::shared_ptr<CompiledCircuitCache> cache_;
+  simd::SimdMode simd_;
+  /// Trajectory-group width: each accumulation slot advances up to this
+  /// many trajectories as BatchedStateVector lanes per circuit pass
+  /// (ExecutionConfig::batch; 1 = the looped pre-batching path). Only
+  /// batchable noise models group — generalized Kraus channels keep the
+  /// per-trajectory loop (batched_executor.h: noise_is_batchable).
+  std::size_t batch_;
   Index num_qubits_ = 0;
   std::vector<Real> mean_probs_;
 };

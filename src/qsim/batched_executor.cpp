@@ -1,0 +1,152 @@
+#include "qsim/batched_executor.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace qugeo::qsim {
+namespace {
+
+const Mat2 kPauliX{{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}}};
+const Mat2 kPauliY{{Complex{0, 0}, Complex{0, -1}, Complex{0, 1}, Complex{0, 0}}};
+const Mat2 kPauliZ{{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-1, 0}}};
+
+/// Batched twin of executor.cpp's apply_block: route the 2x2 block to the
+/// class-specialized all-lane kernel.
+void apply_block_batched(GateKind kind, const Mat2& u,
+                         const std::array<Index, 2>& qubits,
+                         BatchedStateVector& psi) {
+  const bool controlled = gate_is_controlled_1q(kind);
+  switch (gate_class(kind)) {
+    case GateClass::kDiagonal:
+      if (controlled)
+        psi.apply_controlled_diag_1q(u(0, 0), u(1, 1), qubits[0], qubits[1]);
+      else
+        psi.apply_diag_1q(u(0, 0), u(1, 1), qubits[0]);
+      return;
+    case GateClass::kAntiDiagonal:
+      if (controlled)
+        psi.apply_controlled_antidiag_1q(u(0, 1), u(1, 0), qubits[0],
+                                         qubits[1]);
+      else
+        psi.apply_antidiag_1q(u(0, 1), u(1, 0), qubits[0]);
+      return;
+    case GateClass::kGeneric:
+      if (controlled)
+        psi.apply_controlled_1q(u, qubits[0], qubits[1]);
+      else
+        psi.apply_1q(u, qubits[0]);
+      return;
+  }
+}
+
+/// Batched twin of executor.cpp's apply_fused: dense Mat4 kernel for
+/// kFused2Q, dual half-space kernel over the extracted 2x2 blocks for
+/// kFusedCtl2Q.
+void apply_fused_batched(GateKind kind, const Mat4& m, Index q0, Index q1,
+                         BatchedStateVector& psi) {
+  if (kind == GateKind::kFusedCtl2Q) {
+    Mat2 u0, u1;
+    for (int tp = 0; tp < 2; ++tp)
+      for (int t = 0; t < 2; ++t) {
+        u0(tp, t) = m(tp * 2, t * 2);
+        u1(tp, t) = m(tp * 2 + 1, t * 2 + 1);
+      }
+    psi.apply_block_diag_2q(u0, u1, q0, q1);
+    return;
+  }
+  psi.apply_matrix2q(m, q0, q1);
+}
+
+bool is_fused_kind(GateKind kind) {
+  return kind == GateKind::kFused2Q || kind == GateKind::kFusedCtl2Q;
+}
+
+void apply_op_batched(const Op& op, std::span<const Real> params,
+                      BatchedStateVector& psi) {
+  if (op.kind == GateKind::kSWAP) {
+    psi.apply_swap(op.qubits[0], op.qubits[1]);
+    return;
+  }
+  if (op.kind == GateKind::kI) return;
+  const auto vals = Circuit::resolve_params(op, params);
+  apply_block_batched(op.kind, gate_matrix(op.kind, vals), op.qubits, psi);
+}
+
+/// Per-lane depolarizing insertion with maybe_depolarize's exact draw
+/// sequence (bernoulli, then uniform_int on hit) against the LANE's rng.
+void maybe_depolarize_lane(BatchedStateVector& psi, Index q, Real p, Rng& rng,
+                           std::size_t lane) {
+  if (!rng.bernoulli(p)) return;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: psi.apply_1q_lane(kPauliX, q, lane); break;
+    case 1: psi.apply_1q_lane(kPauliY, q, lane); break;
+    default: psi.apply_1q_lane(kPauliZ, q, lane); break;
+  }
+}
+
+}  // namespace
+
+void run_circuit_batched(const Circuit& circuit, std::span<const Real> params,
+                         BatchedStateVector& psi) {
+  if (psi.num_qubits() != circuit.num_qubits())
+    throw std::invalid_argument("run_circuit_batched: qubit count mismatch");
+  if (params.size() < circuit.num_params())
+    throw std::invalid_argument(
+        "run_circuit_batched: parameter table too small");
+  for (const Op& op : circuit.ops()) {
+    if (is_fused_kind(op.kind))
+      apply_fused_batched(op.kind, circuit.matrix(op), op.qubits[0],
+                          op.qubits[1], psi);
+    else
+      apply_op_batched(op, params, psi);
+  }
+}
+
+bool noise_is_batchable(const NoiseModel& noise) noexcept {
+  return !noise.has_gate_noise() ||
+         noise.channel == NoiseChannel::kDepolarizing;
+}
+
+void run_circuit_noisy_batched(const Circuit& circuit,
+                               std::span<const Real> params,
+                               BatchedStateVector& psi,
+                               const NoiseModel& noise, std::span<Rng> rngs) {
+  if (rngs.size() != psi.lanes())
+    throw std::invalid_argument(
+        "run_circuit_noisy_batched: need one Rng per lane");
+  if (!noise_is_batchable(noise))
+    throw std::invalid_argument(
+        "run_circuit_noisy_batched: generalized Kraus channels need the "
+        "looped run_circuit_noisy");
+  if (noise.has_gate_noise()) {
+    // Gates advance all lanes at once; each noise insertion point then
+    // consults every lane's own rng in lane order. Lane l's draw sequence
+    // is exactly what a looped trajectory with the same Rng would see,
+    // because draws only ever come from that lane's stream.
+    const auto sample_channel = [&](Index q) {
+      for (std::size_t l = 0; l < psi.lanes(); ++l)
+        maybe_depolarize_lane(psi, q, noise.gate_error_prob, rngs[l], l);
+    };
+    for (const Op& op : circuit.ops()) {
+      if (is_fused_kind(op.kind))
+        // Fusion is restricted to noiseless paths (optimizer.h legality
+        // rules) — mirror run_circuit_noisy's contract.
+        throw std::invalid_argument(
+            "run_circuit_noisy_batched: fused ops are illegal under gate "
+            "noise");
+      apply_op_batched(op, params, psi);
+      sample_channel(op.qubits[0]);
+      if (gate_qubit_count(op.kind) == 2) sample_channel(op.qubits[1]);
+    }
+  } else {
+    run_circuit_batched(circuit, params, psi);
+  }
+  if (noise.has_readout_error()) {
+    for (std::size_t l = 0; l < psi.lanes(); ++l)
+      for (Index q = 0; q < psi.num_qubits(); ++q)
+        if (rngs[l].bernoulli(noise.readout_error))
+          psi.apply_1q_lane(kPauliX, q, l);
+  }
+}
+
+}  // namespace qugeo::qsim

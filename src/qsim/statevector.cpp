@@ -4,12 +4,21 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/cpu_features.h"
 #include "common/math_utils.h"
+#include "qsim/simd_kernels.h"
 
 namespace qugeo::qsim {
 
 namespace {
 constexpr Complex kOne{1, 0};
+
+/// One relaxed load per kernel call decides scalar vs AVX2 dispatch; the
+/// scalar bodies below are byte-for-byte the pre-SIMD kernels, so
+/// QUGEO_SIMD=scalar reproduces historical results bit-exactly.
+bool use_avx2() noexcept {
+  return simd::active_level() == simd::SimdLevel::kAvx2;
+}
 }  // namespace
 
 StateVector::StateVector(Index num_qubits) : num_qubits_(num_qubits) {
@@ -44,6 +53,10 @@ Real StateVector::norm_sq() const noexcept {
 
 void StateVector::apply_1q(const Mat2& u, Index q) {
   assert(q < num_qubits_);
+  if (use_avx2()) {
+    apply_1q_avx2(amps_.data(), amps_.size(), u, q);
+    return;
+  }
   const Index stride = Index{1} << q;
   const Index n = amps_.size();
   // Hoist the matrix into locals: amps_ and u are both Complex storage, so
@@ -108,6 +121,10 @@ void StateVector::apply_antidiag_1q(Complex a01, Complex a10, Index q) {
 
 void StateVector::apply_matrix2q(const Mat4& u, Index q0, Index q1) {
   assert(q0 < num_qubits_ && q1 < num_qubits_ && q0 != q1);
+  if (use_avx2()) {
+    apply_matrix2q_avx2(amps_.data(), amps_.size(), u, q0, q1);
+    return;
+  }
   const Index m0 = Index{1} << q0;
   const Index m1 = Index{1} << q1;
   const Index mlo = q0 < q1 ? m0 : m1;
@@ -148,6 +165,11 @@ void StateVector::apply_matrix2q(const Mat4& u, Index q0, Index q1) {
 void StateVector::apply_block_diag_2q(const Mat2& u0, const Mat2& u1,
                                       Index control, Index target) {
   assert(control < num_qubits_ && target < num_qubits_ && control != target);
+  if (use_avx2()) {
+    apply_block_diag_2q_avx2(amps_.data(), amps_.size(), u0, u1, control,
+                             target);
+    return;
+  }
   const Index mc = Index{1} << control;
   const Index mt = Index{1} << target;
   const Index n = amps_.size();
@@ -195,6 +217,10 @@ void StateVector::apply_block_diag_2q(const Mat2& u0, const Mat2& u1,
 
 void StateVector::apply_controlled_1q(const Mat2& u, Index control, Index target) {
   assert(control < num_qubits_ && target < num_qubits_ && control != target);
+  if (use_avx2()) {
+    apply_controlled_1q_avx2(amps_.data(), amps_.size(), u, control, target);
+    return;
+  }
   const Index cmask = Index{1} << control;
   const Index tmask = Index{1} << target;
   const Index lo = control < target ? control : target;

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/cpu_features.h"
 #include "common/parallel.h"
+#include "seismic/fdtd_simd.h"
 
 namespace qugeo::seismic {
 namespace {
@@ -123,13 +125,25 @@ void propagate_impl(const VelocityModel& model, const GridPos& source,
   const std::size_t row_grain =
       std::max<std::size_t>(1, (std::size_t{1} << 16) / dom.nx_c);
 
+  // SIMD dispatch is decided ONCE, on the calling thread: pool workers do
+  // not inherit a caller's thread-local ScopedSimdMode override, so the
+  // resolved flag is captured by value into the row lambdas.
+  const bool use_avx2 =
+      simd::active_level() == simd::SimdLevel::kAvx2;
+
   for (std::size_t step = 0; step < cfg.nt; ++step) {
-    parallel_for_chunked(0, dom.nz_c, row_grain, [&](std::size_t z0, std::size_t z1) {
+    parallel_for_chunked(0, dom.nz_c, row_grain,
+                         [&, use_avx2](std::size_t z0, std::size_t z1) {
       for (std::size_t iz_c = z0; iz_c < z1; ++iz_c) {
         const Real* pr = p.data() + dom.cell(iz_c, 0);
         const Real* pp = p_prev.data() + dom.cell(iz_c, 0);
         Real* pn = p_next.data() + dom.cell(iz_c, 0);
         const Real* cc = c2.data() + iz_c * dom.nx_c;
+        if (use_avx2) {
+          fdtd_row_avx2(Halo, stc.data(), pr, pp, pn, cc, dom.nx_c,
+                        dom.stride, inv_dz2, inv_dx2, dt2);
+          continue;
+        }
         for (std::size_t ix_c = 0; ix_c < dom.nx_c; ++ix_c) {
           const Real* pc = pr + ix_c;  // halo makes +-k and +-k*stride safe
           Real lap = stc[0] * pc[0] * (inv_dz2 + inv_dx2);

@@ -1,0 +1,404 @@
+// Batched (SoA) multi-state execution equivalence: one batched gate
+// dispatch over all lanes must reproduce the looped single-state execution
+// exactly. In scalar dispatch mode the batched lane loops restate the very
+// same formulas the single-state kernels use (and the baseline TU cannot
+// contract them into FMA), so equivalence here is BIT-EXACT — checked with
+// EXPECT_EQ, not a tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/model.h"
+#include "qsim/backend.h"
+#include "qsim/batched_executor.h"
+#include "qsim/batched_statevector.h"
+#include "qsim/executor.h"
+#include "qsim/noise.h"
+#include "qsim/optimizer.h"
+
+namespace qugeo::qsim {
+namespace {
+
+std::vector<Complex> random_amplitudes(Index dim, Rng& rng) {
+  std::vector<Complex> amps(dim);
+  Real norm = 0;
+  for (Complex& a : amps) {
+    a = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    norm += std::norm(a);
+  }
+  norm = std::sqrt(norm);
+  for (Complex& a : amps) a /= norm;
+  return amps;
+}
+
+void expect_lanes_bitwise(const BatchedStateVector& batch,
+                          std::span<const StateVector> looped,
+                          const char* what) {
+  ASSERT_EQ(batch.lanes(), looped.size());
+  for (std::size_t l = 0; l < batch.lanes(); ++l) {
+    const StateVector got = batch.lane_state(l);
+    const auto want = looped[l].amplitudes();
+    ASSERT_EQ(got.amplitudes().size(), want.size());
+    for (Index k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got.amplitudes()[k].real(), want[k].real())
+          << what << " lane " << l << " amp " << k;
+      EXPECT_EQ(got.amplitudes()[k].imag(), want[k].imag())
+          << what << " lane " << l << " amp " << k;
+    }
+  }
+}
+
+const GateKind kAllKinds[] = {
+    GateKind::kI,   GateKind::kX,     GateKind::kY,   GateKind::kZ,
+    GateKind::kH,   GateKind::kS,     GateKind::kSdg, GateKind::kT,
+    GateKind::kTdg, GateKind::kRX,    GateKind::kRY,  GateKind::kRZ,
+    GateKind::kPhase, GateKind::kU3,  GateKind::kCX,  GateKind::kCZ,
+    GateKind::kCRY, GateKind::kCU3,   GateKind::kSWAP};
+
+/// A one-op circuit for `kind` on random distinct qubits with random
+/// literal angles (kI has no public builder; its circuit stays empty,
+/// which is the same identity semantics).
+Circuit one_op_circuit(GateKind kind, Index num_qubits, Rng& rng) {
+  Circuit c(num_qubits);
+  const auto q0 = static_cast<Index>(
+      rng.uniform_int(0, static_cast<std::int64_t>(num_qubits) - 1));
+  Index q1 = q0;
+  while (q1 == q0)
+    q1 = static_cast<Index>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_qubits) - 1));
+  const Real a = rng.uniform(-3, 3);
+  const Real b = rng.uniform(-3, 3);
+  const Real d = rng.uniform(-3, 3);
+  switch (kind) {
+    case GateKind::kI: break;
+    case GateKind::kX: c.x(q0); break;
+    case GateKind::kY: c.y(q0); break;
+    case GateKind::kZ: c.z(q0); break;
+    case GateKind::kH: c.h(q0); break;
+    case GateKind::kS: c.s(q0); break;
+    case GateKind::kSdg: c.sdg(q0); break;
+    case GateKind::kT: c.t(q0); break;
+    case GateKind::kTdg: c.tdg(q0); break;
+    case GateKind::kRX: c.rx(q0, a); break;
+    case GateKind::kRY: c.ry(q0, a); break;
+    case GateKind::kRZ: c.rz(q0, a); break;
+    case GateKind::kPhase: c.phase(q0, a); break;
+    case GateKind::kU3: c.u3(q0, a, b, d); break;
+    case GateKind::kCX: c.cx(q0, q1); break;
+    case GateKind::kCZ: c.cz(q0, q1); break;
+    case GateKind::kCRY: c.cry(q0, q1, a); break;
+    case GateKind::kCU3: c.cu3(q0, q1, a, b, d); break;
+    case GateKind::kSWAP: c.swap(q0, q1); break;
+    default: ADD_FAILURE() << "unhandled kind"; break;
+  }
+  return c;
+}
+
+/// The paper's U3+CU3 ansatz with frozen literal angles — the form whose
+/// canonicalization emits kFused2Q / kFusedCtl2Q ops.
+Circuit frozen_test_circuit(Index qubits, Rng& rng) {
+  Circuit c(qubits);
+  for (Index q = 0; q < qubits; ++q)
+    c.u3(q, rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2));
+  for (Index q = 0; q + 1 < qubits; ++q)
+    c.cu3(q, q + 1, rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2));
+  c.swap(0, qubits - 1);
+  for (Index q = 0; q < qubits; ++q)
+    c.u3(q, rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2));
+  c.cx(qubits - 1, 0);
+  return c;
+}
+
+TEST(BatchedExecutor, EveryGateKindMatchesLoopedBitExact) {
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+  Rng rng(41);
+  const Index nq = 5;
+  const std::size_t lanes = 3;
+  for (GateKind kind : kAllKinds) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const Circuit c = one_op_circuit(kind, nq, rng);
+      BatchedStateVector batch(nq, lanes);
+      std::vector<StateVector> looped;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const auto amps = random_amplitudes(Index{1} << nq, rng);
+        batch.set_lane(l, amps);
+        looped.emplace_back(nq);
+        looped.back().set_amplitudes(amps);
+      }
+      run_circuit_batched(c, {}, batch);
+      for (auto& psi : looped) run_circuit(c, {}, psi);
+      expect_lanes_bitwise(batch, looped, gate_name(kind).data());
+    }
+  }
+}
+
+TEST(BatchedExecutor, FusedKindsMatchLoopedBitExact) {
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+  Rng rng(42);
+  const Index nq = 5;
+  const std::size_t lanes = 4;
+  const Circuit fused = canonicalize_for_backend(frozen_test_circuit(nq, rng));
+  bool has_fused2q = false, has_fused_ctl = false;
+  for (const Op& op : fused.ops()) {
+    has_fused2q |= op.kind == GateKind::kFused2Q;
+    has_fused_ctl |= op.kind == GateKind::kFusedCtl2Q;
+  }
+  ASSERT_TRUE(has_fused2q) << "canonicalization emitted no kFused2Q op";
+  ASSERT_TRUE(has_fused_ctl) << "canonicalization emitted no kFusedCtl2Q op";
+
+  BatchedStateVector batch(nq, lanes);
+  std::vector<StateVector> looped;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto amps = random_amplitudes(Index{1} << nq, rng);
+    batch.set_lane(l, amps);
+    looped.emplace_back(nq);
+    looped.back().set_amplitudes(amps);
+  }
+  run_circuit_batched(fused, {}, batch);
+  for (auto& psi : looped) run_circuit(fused, {}, psi);
+  expect_lanes_bitwise(batch, looped, "fused circuit");
+}
+
+TEST(BatchedExecutor, BatchSizeOneDegeneracy) {
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+  Rng rng(43);
+  const Index nq = 6;
+  const Circuit c = frozen_test_circuit(nq, rng);
+  const auto amps = random_amplitudes(Index{1} << nq, rng);
+  BatchedStateVector batch(nq, 1);
+  batch.set_lane(0, amps);
+  std::vector<StateVector> looped(1, StateVector(nq));
+  looped[0].set_amplitudes(amps);
+  run_circuit_batched(c, {}, batch);
+  run_circuit(c, {}, looped[0]);
+  expect_lanes_bitwise(batch, looped, "batch of one");
+}
+
+TEST(BatchedExecutor, Avx2MatchesLoopedWithinTolerance) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kAvx2);
+  Rng rng(44);
+  const Index nq = 5;
+  const std::size_t lanes = 6;
+  const Circuit c = frozen_test_circuit(nq, rng);
+  BatchedStateVector batch(nq, lanes);
+  std::vector<StateVector> looped;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto amps = random_amplitudes(Index{1} << nq, rng);
+    batch.set_lane(l, amps);
+    looped.emplace_back(nq);
+    looped.back().set_amplitudes(amps);
+  }
+  run_circuit_batched(c, {}, batch);
+  for (auto& psi : looped) run_circuit(c, {}, psi);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const StateVector got = batch.lane_state(l);
+    for (Index k = 0; k < got.dim(); ++k) {
+      EXPECT_NEAR(got.amplitudes()[k].real(),
+                  looped[l].amplitudes()[k].real(), 1e-12);
+      EXPECT_NEAR(got.amplitudes()[k].imag(),
+                  looped[l].amplitudes()[k].imag(), 1e-12);
+    }
+  }
+}
+
+TEST(BatchedExecutor, NoisyBatchedMatchesLoopedPerLaneBitExact) {
+  // Per-lane RNG objects replay the exact draw sequence of the looped
+  // trajectories, so batched noisy execution is bit-identical in scalar
+  // mode — including the readout flips.
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+  Rng rng(45);
+  const Index nq = 4;
+  const std::size_t lanes = 4;
+  const Circuit c = frozen_test_circuit(nq, rng);
+  NoiseModel noise;
+  noise.gate_error_prob = 0.2;
+  noise.channel = NoiseChannel::kDepolarizing;
+  noise.readout_error = 0.1;
+  ASSERT_TRUE(noise_is_batchable(noise));
+
+  BatchedStateVector batch(nq, lanes);
+  std::vector<StateVector> looped;
+  std::vector<Rng> batch_rngs;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto amps = random_amplitudes(Index{1} << nq, rng);
+    batch.set_lane(l, amps);
+    looped.emplace_back(nq);
+    looped.back().set_amplitudes(amps);
+    batch_rngs.push_back(trajectory_rng(7, l));
+  }
+  run_circuit_noisy_batched(c, {}, batch, noise, batch_rngs);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Rng traj = trajectory_rng(7, l);
+    run_circuit_noisy(c, {}, looped[l], noise, traj);
+  }
+  expect_lanes_bitwise(batch, looped, "noisy batch");
+}
+
+TEST(BatchedExecutor, GeneralizedChannelsAreNotBatchable) {
+  NoiseModel damping;
+  damping.gate_error_prob = 0.05;
+  damping.channel = NoiseChannel::kAmplitudeDamping;
+  EXPECT_FALSE(noise_is_batchable(damping));
+
+  NoiseModel readout_only;
+  readout_only.readout_error = 0.02;
+  EXPECT_TRUE(noise_is_batchable(readout_only));
+
+  // The batched noisy entry point refuses what it cannot reproduce.
+  Rng rng(46);
+  const Circuit c = frozen_test_circuit(3, rng);
+  BatchedStateVector batch(3, 2);
+  std::vector<Rng> rngs{trajectory_rng(1, 0), trajectory_rng(1, 1)};
+  EXPECT_THROW(run_circuit_noisy_batched(c, {}, batch, damping, rngs),
+               std::invalid_argument);
+}
+
+TEST(BatchedBackend, StatevectorOverrideMatchesBaseLoop) {
+  const Index nq = 5;
+  Rng rng(47);
+  const Circuit c = frozen_test_circuit(nq, rng);
+
+  std::vector<StateVector> states;
+  for (int i = 0; i < 3; ++i) {
+    states.emplace_back(nq);
+    states.back().set_amplitudes(random_amplitudes(Index{1} << nq, rng));
+  }
+
+  ExecutionConfig cfg;
+  cfg.simd = simd::SimdMode::kScalar;
+  const auto backend = make_backend(cfg, nq);
+  const auto batched = backend->run_batched_probabilities(c, {}, states);
+
+  ASSERT_EQ(batched.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const auto single = make_backend(cfg, nq);
+    single->run(c, {}, StateVector(states[i]));
+    const auto want = single->probabilities();
+    ASSERT_EQ(batched[i].size(), want.size());
+    for (std::size_t k = 0; k < want.size(); ++k)
+      EXPECT_EQ(batched[i][k], want[k]) << "state " << i << " outcome " << k;
+  }
+}
+
+TEST(BatchedBackend, TrajectoryGroupingIsBitIdentical) {
+  // TrajectoryBackend with batch > 1 groups trajectories into SoA lanes;
+  // the fixed-order fold must keep the averaged probabilities bit-identical
+  // to the unbatched backend for any group width, including ragged groups
+  // (10 trajectories at width 4 -> groups of 4, 4, 2 per slot stride).
+  Rng rng(48);
+  const Index nq = 4;
+  const Circuit c = frozen_test_circuit(nq, rng);
+
+  const auto run_with_batch = [&](std::size_t batch) {
+    ExecutionConfig cfg;
+    cfg.backend = BackendKind::kTrajectory;
+    cfg.trajectories = 10;
+    cfg.seed = 99;
+    cfg.batch = batch;
+    cfg.simd = simd::SimdMode::kScalar;
+    cfg.noise.gate_error_prob = 0.1;
+    cfg.noise.readout_error = 0.05;
+    const auto backend = make_backend(cfg, nq);
+    backend->run(c, {});
+    return backend->probabilities();
+  };
+
+  const auto unbatched = run_with_batch(1);
+  for (std::size_t batch : {2u, 4u, 8u, 16u}) {
+    const auto got = run_with_batch(batch);
+    ASSERT_EQ(got.size(), unbatched.size());
+    for (std::size_t k = 0; k < got.size(); ++k)
+      EXPECT_EQ(got[k], unbatched[k]) << "batch " << batch << " outcome " << k;
+  }
+}
+
+TEST(BatchedBackend, ThreadPoolInteraction) {
+  // Batched trajectory groups fanned across a 4-worker pool must still
+  // fold bit-identically (per-trajectory RNG streams + fixed-order fold).
+  const std::size_t saved = num_threads();
+  set_num_threads(4);
+  Rng rng(49);
+  const Index nq = 4;
+  const Circuit c = frozen_test_circuit(nq, rng);
+  ExecutionConfig cfg;
+  cfg.backend = BackendKind::kTrajectory;
+  cfg.trajectories = 12;
+  cfg.seed = 5;
+  cfg.simd = simd::SimdMode::kScalar;
+  cfg.noise.gate_error_prob = 0.1;
+
+  cfg.batch = 1;
+  const auto b1 = make_backend(cfg, nq);
+  b1->run(c, {});
+  const auto unbatched = b1->probabilities();
+
+  cfg.batch = 4;
+  const auto b4 = make_backend(cfg, nq);
+  b4->run(c, {});
+  const auto batched = b4->probabilities();
+
+  set_num_threads(saved);
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (std::size_t k = 0; k < batched.size(); ++k)
+    EXPECT_EQ(batched[k], unbatched[k]) << "outcome " << k;
+}
+
+TEST(BatchedModel, PredictBatchedMatchesUnbatchedWithRaggedTail) {
+  // Model-level gating: exec.batch > 1 sweeps whole QuBatch chunks through
+  // the SoA path. Five samples at batch 2 leaves a ragged final group; the
+  // padded lane must not leak into the returned predictions.
+  core::ModelConfig mc;
+  Rng rng(50);
+  core::QuGeoModel model(mc, rng);
+
+  std::vector<data::ScaledSample> samples(5);
+  for (auto& s : samples) {
+    s.waveform.resize(256);
+    s.velocity.resize(64);
+    rng.fill_uniform(s.waveform, -1, 1);
+    rng.fill_uniform(s.velocity, 0, 1);
+  }
+  std::vector<const data::ScaledSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+
+  qsim::ExecutionConfig exec = model.execution_config();
+  exec.simd = simd::SimdMode::kScalar;
+  exec.batch = 1;
+  const auto unbatched = model.predict_with(ptrs, exec);
+  exec.batch = 2;
+  const auto batched = model.predict_with(ptrs, exec);
+
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].size(), unbatched[i].size()) << "sample " << i;
+    for (std::size_t k = 0; k < batched[i].size(); ++k)
+      EXPECT_EQ(batched[i][k], unbatched[i][k])
+          << "sample " << i << " pixel " << k;
+  }
+}
+
+TEST(BatchedStateVectorBasics, RejectsInvalidConstruction) {
+  EXPECT_THROW(BatchedStateVector(29, 2), std::invalid_argument);
+  EXPECT_THROW(BatchedStateVector(4, 0), std::invalid_argument);
+  BatchedStateVector b(3, 2);
+  EXPECT_EQ(b.dim(), Index{8});
+  EXPECT_EQ(b.lanes(), 2u);
+  // reset() returns every lane to |0...0>.
+  b.apply_1q(gate_matrix(GateKind::kH, {}), 0);
+  b.reset();
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(b.lane_norm_sq(l), Real(1));
+    const auto probs = b.lane_probabilities(l);
+    EXPECT_EQ(probs[0], Real(1));
+  }
+}
+
+}  // namespace
+}  // namespace qugeo::qsim

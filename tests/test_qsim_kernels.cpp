@@ -4,13 +4,19 @@
 // states — the specialized kernels are optimizations, never semantics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <complex>
+#include <utility>
 #include <vector>
 
+#include "common/cpu_features.h"
+#include "common/math_utils.h"
 #include "common/rng.h"
+#include "qsim/batched_statevector.h"
 #include "qsim/executor.h"
 #include "qsim/observables.h"
+#include "qsim/simd_kernels.h"
 
 namespace qugeo::qsim {
 namespace {
@@ -273,6 +279,256 @@ TEST(KernelEquivalence, AdjointGradientsMatchParameterShiftOnFastPathCircuit) {
   ASSERT_EQ(adj.param_grads.size(), shift.size());
   for (std::size_t i = 0; i < shift.size(); ++i)
     EXPECT_NEAR(adj.param_grads[i], shift[i], 1e-9) << "param " << i;
+}
+
+// --- SIMD layer: the QUGEO_SIMD=scalar escape hatch and the AVX2 kernels.
+//
+// The scalar dispatch path must reproduce the pre-SIMD kernels BIT-EXACTLY
+// (the bodies are the unchanged cmul formulas; the baseline TU cannot emit
+// FMA, so re-deriving the same formulas here yields identical doubles).
+// The AVX2 kernels may contract into FMA and are pinned to <= 1e-12 per
+// amplitude component against scalar.
+
+/// The exact scalar apply_1q formula from statevector.cpp, re-derived.
+void formula_apply_1q(std::vector<Complex>& amps, const Mat2& u, Index q) {
+  const Index stride = Index{1} << q;
+  const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  for (Index base = 0; base < amps.size(); base += stride * 2) {
+    for (Index off = 0; off < stride; ++off) {
+      const Index i0 = base + off;
+      const Index i1 = i0 + stride;
+      const Complex a0 = amps[i0];
+      const Complex a1 = amps[i1];
+      amps[i0] = cmul(u00, a0) + cmul(u01, a1);
+      amps[i1] = cmul(u10, a0) + cmul(u11, a1);
+    }
+  }
+}
+
+/// The exact scalar apply_matrix2q formula (pair order and left-to-right
+/// four-term sums) from statevector.cpp, re-derived.
+void formula_apply_matrix2q(std::vector<Complex>& amps, const Mat4& u,
+                            Index q0, Index q1) {
+  const Index m0 = Index{1} << q0;
+  const Index m1 = Index{1} << q1;
+  const Index mlo = q0 < q1 ? m0 : m1;
+  const Index mhi = q0 < q1 ? m1 : m0;
+  const std::array<Complex, 16> um = u.m;
+  for (Index base = 0; base < amps.size(); base += 2 * mhi) {
+    for (Index mid = base; mid < base + mhi; mid += 2 * mlo) {
+      for (Index i0 = mid; i0 < mid + mlo; ++i0) {
+        const Index i1 = i0 | m0;
+        const Index i2 = i0 | m1;
+        const Index i3 = i1 | m1;
+        const Complex a0 = amps[i0];
+        const Complex a1 = amps[i1];
+        const Complex a2 = amps[i2];
+        const Complex a3 = amps[i3];
+        amps[i0] = cmul(um[0], a0) + cmul(um[1], a1) + cmul(um[2], a2) +
+                   cmul(um[3], a3);
+        amps[i1] = cmul(um[4], a0) + cmul(um[5], a1) + cmul(um[6], a2) +
+                   cmul(um[7], a3);
+        amps[i2] = cmul(um[8], a0) + cmul(um[9], a1) + cmul(um[10], a2) +
+                   cmul(um[11], a3);
+        amps[i3] = cmul(um[12], a0) + cmul(um[13], a1) + cmul(um[14], a2) +
+                   cmul(um[15], a3);
+      }
+    }
+  }
+}
+
+void expect_amps_bitwise(std::span<const Complex> got,
+                         std::span<const Complex> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (Index k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k].real(), want[k].real()) << what << " amp " << k;
+    EXPECT_EQ(got[k].imag(), want[k].imag()) << what << " amp " << k;
+  }
+}
+
+Mat2 random_mat2(Rng& rng) {
+  return u3_matrix(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3));
+}
+
+Mat4 random_mat4(Rng& rng) {
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  Mat4 m{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      m(r, c) = a(r / 2, c % 2) * b(r % 2, c / 2);
+  return m;
+}
+
+TEST(SimdEquivalence, ScalarModeIsBitExactReferenceFormula) {
+  // QUGEO_SIMD=scalar must reproduce the pre-SIMD results bit-for-bit —
+  // the documented reproducibility escape hatch.
+  const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+  ASSERT_EQ(simd::active_level(), simd::SimdLevel::kScalar);
+  Rng rng(31);
+  const Index nq = 6;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto amps = random_amplitudes(Index{1} << nq, rng);
+    const Mat2 u = random_mat2(rng);
+    const auto q = static_cast<Index>(rng.uniform_int(0, nq - 1));
+    StateVector psi(nq);
+    psi.set_amplitudes(amps);
+    psi.apply_1q(u, q);
+    auto want = amps;
+    formula_apply_1q(want, u, q);
+    expect_amps_bitwise(psi.amplitudes(), want, "scalar 1q");
+
+    const Mat4 u4 = random_mat4(rng);
+    const auto q1 = static_cast<Index>((q + 1 + rng.uniform_int(0, nq - 2)) %
+                                       static_cast<std::int64_t>(nq));
+    StateVector psi2(nq);
+    psi2.set_amplitudes(amps);
+    psi2.apply_matrix2q(u4, q, q1);
+    auto want2 = amps;
+    formula_apply_matrix2q(want2, u4, q, q1);
+    expect_amps_bitwise(psi2.amplitudes(), want2, "scalar dense 2q");
+  }
+}
+
+TEST(SimdEquivalence, Apply1QAvx2MatchesScalar) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(32);
+  const Index nq = 7;
+  for (Index q = 0; q < nq; ++q) {
+    const auto amps = random_amplitudes(Index{1} << nq, rng);
+    const Mat2 u = random_mat2(rng);
+    auto got = amps;
+    apply_1q_avx2(got.data(), got.size(), u, q);
+    auto want = amps;
+    formula_apply_1q(want, u, q);
+    expect_amps_near(got, want, "apply_1q_avx2");
+  }
+}
+
+TEST(SimdEquivalence, ApplyControlled1QAvx2MatchesScalar) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(33);
+  const Index nq = 6;
+  for (Index control = 0; control < nq; ++control)
+    for (Index target = 0; target < nq; ++target) {
+      if (control == target) continue;
+      const auto amps = random_amplitudes(Index{1} << nq, rng);
+      const Mat2 u = random_mat2(rng);
+      auto got = amps;
+      apply_controlled_1q_avx2(got.data(), got.size(), u, control, target);
+      auto want = amps;
+      ref_apply_controlled_1q(want, u, control, target);
+      expect_amps_near(got, want, "apply_controlled_1q_avx2");
+    }
+}
+
+TEST(SimdEquivalence, ApplyMatrix2QAvx2MatchesScalar) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(34);
+  const Index nq = 6;
+  for (Index q0 = 0; q0 < nq; ++q0)
+    for (Index q1 = 0; q1 < nq; ++q1) {
+      if (q0 == q1) continue;
+      const auto amps = random_amplitudes(Index{1} << nq, rng);
+      const Mat4 u = random_mat4(rng);
+      auto got = amps;
+      apply_matrix2q_avx2(got.data(), got.size(), u, q0, q1);
+      auto want = amps;
+      formula_apply_matrix2q(want, u, q0, q1);
+      expect_amps_near(got, want, "apply_matrix2q_avx2");
+    }
+}
+
+TEST(SimdEquivalence, ApplyBlockDiag2QAvx2MatchesScalar) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(36);
+  const Index nq = 6;
+  for (Index control = 0; control < nq; ++control)
+    for (Index target = 0; target < nq; ++target) {
+      if (control == target) continue;
+      const auto amps = random_amplitudes(Index{1} << nq, rng);
+      // Random blocks, plus each identity-block skip path on its own.
+      const Mat2 identity = u3_matrix(0, 0, 0);
+      const std::array<std::pair<Mat2, Mat2>, 3> cases = {
+          std::pair<Mat2, Mat2>{random_mat2(rng), random_mat2(rng)},
+          std::pair<Mat2, Mat2>{identity, random_mat2(rng)},
+          std::pair<Mat2, Mat2>{random_mat2(rng), identity}};
+      for (const auto& [u0, u1] : cases) {
+        auto got = amps;
+        apply_block_diag_2q_avx2(got.data(), got.size(), u0, u1, control,
+                                 target);
+        StateVector want(nq);
+        {
+          const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+          want.set_amplitudes(amps);
+          want.apply_block_diag_2q(u0, u1, control, target);
+        }
+        expect_amps_near(got, want.amplitudes(), "apply_block_diag_2q_avx2");
+      }
+    }
+}
+
+TEST(SimdEquivalence, BatchedApply1QAvx2MatchesScalar) {
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(35);
+  const Index nq = 5;
+  // Odd lane count exercises the vector tail of the lane loop.
+  const std::size_t lanes = 5;
+  BatchedStateVector batch(nq, lanes);
+  std::vector<std::vector<Complex>> per_lane(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    per_lane[l] = random_amplitudes(batch.dim(), rng);
+    batch.set_lane(l, per_lane[l]);
+  }
+  for (Index q = 0; q < nq; ++q) {
+    const Mat2 u = random_mat2(rng);
+    batched_apply_1q_avx2(batch.re_data(), batch.im_data(), batch.dim(),
+                          batch.lanes(), u, q);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      formula_apply_1q(per_lane[l], u, q);
+      const StateVector got = batch.lane_state(l);
+      expect_amps_near(got.amplitudes(), per_lane[l], "batched_apply_1q_avx2");
+    }
+  }
+}
+
+TEST(SimdEquivalence, Avx2DispatchMatchesScalarOnFullAnsatzRun) {
+  // End-to-end: the same circuit under forced AVX2 vs forced scalar
+  // dispatch agrees to kTol per amplitude.
+  if (!simd::cpu_supports_avx2())
+    GTEST_SKIP() << "AVX2+FMA not supported on this CPU";
+  Rng rng(36);
+  const Index nq = 6;
+  Circuit c(nq);
+  const auto p = c.new_params(4);
+  for (Index q = 0; q < nq; ++q) c.h(q);
+  c.rz(0, ParamRef{p.id});
+  c.ry(1, ParamRef{p.id + 1});
+  c.cu3(0, 2, 0.4, -0.8, 1.1);
+  c.cry(1, 3, ParamRef{p.id + 2});
+  c.swap(2, 4);
+  c.cx(3, 5);
+  c.rx(5, ParamRef{p.id + 3});
+  std::vector<Real> params(c.num_params());
+  rng.fill_uniform(params, -2, 2);
+
+  StateVector scalar_psi(nq);
+  {
+    const simd::ScopedSimdMode scoped(simd::SimdMode::kScalar);
+    run_circuit(c, params, scalar_psi);
+  }
+  StateVector avx2_psi(nq);
+  {
+    const simd::ScopedSimdMode scoped(simd::SimdMode::kAvx2);
+    run_circuit(c, params, avx2_psi);
+  }
+  expect_amps_near(avx2_psi.amplitudes(), scalar_psi.amplitudes(),
+                   "avx2 vs scalar ansatz");
 }
 
 }  // namespace

@@ -92,6 +92,22 @@ TEST(QugeoLint, UntestedFaultSiteFailsBothWays) {
   EXPECT_EQ(violations.size(), 2u) << render(violations);
 }
 
+TEST(QugeoLint, UntestedSimdKernelFails) {
+  const auto violations = check_simd_scalar_equivalence(fixture("untested_simd"));
+  EXPECT_TRUE(any_violation(violations, "simd-scalar-equivalence",
+                            "apply_untested_avx2"))
+      << render(violations);
+  // The covered kernel, the commented-out call, and the string-literal
+  // mention produce nothing.
+  EXPECT_FALSE(any_violation(violations, "simd-scalar-equivalence",
+                             "apply_covered_avx2"));
+  EXPECT_FALSE(any_violation(violations, "simd-scalar-equivalence",
+                             "apply_commented_avx2"));
+  EXPECT_FALSE(any_violation(violations, "simd-scalar-equivalence",
+                             "some_stringonly_avx2"));
+  EXPECT_EQ(violations.size(), 1u) << render(violations);
+}
+
 TEST(QugeoLint, NegativeFixturesAreCleanElsewhere) {
   // Each negative fixture trips only its target check, so a regression
   // that cross-fires another rule is visible here.
@@ -105,6 +121,14 @@ TEST(QugeoLint, NegativeFixturesAreCleanElsewhere) {
   EXPECT_TRUE(check_determinism(fixture("untested_fault_site")).empty());
   EXPECT_TRUE(
       check_gatekind_dispatch(fixture("untested_fault_site")).empty());
+  EXPECT_TRUE(check_simd_scalar_equivalence(fixture("missing_gatekind")).empty());
+  EXPECT_TRUE(check_simd_scalar_equivalence(fixture("uses_rand")).empty());
+  EXPECT_TRUE(
+      check_simd_scalar_equivalence(fixture("untested_fault_site")).empty());
+  EXPECT_TRUE(check_env_var_docs(fixture("untested_simd")).empty());
+  EXPECT_TRUE(check_determinism(fixture("untested_simd")).empty());
+  EXPECT_TRUE(check_gatekind_dispatch(fixture("untested_simd")).empty());
+  EXPECT_TRUE(check_fault_site_coverage(fixture("untested_simd")).empty());
 }
 
 TEST(QugeoLint, RealRepositoryTreeIsClean) {

@@ -1,0 +1,14 @@
+// Fixture TU: .cpp-local *_avx2 helpers (the dispatch guard, the
+// no-AVX2 stub) are not entry points and must not be reported.
+#include "kernels.h"
+
+static bool use_avx2() { return false; }
+static void helper_only_avx2(double*) {}
+
+void run(double* data, unsigned long n) {
+  if (use_avx2()) helper_only_avx2(data);
+  apply_covered_avx2(data, n);
+  apply_untested_avx2(data, n);
+  const char* msg = "error in some_stringonly_avx2(...) path";
+  (void)msg;
+}

@@ -1,0 +1,8 @@
+// Fixture: two AVX2 kernel entry points declared in this header, one
+// covered by the fixture's test tree, one covered by nothing (the check
+// must flag it once). TU-local helper names in kernels.cpp must not count.
+#pragma once
+
+void apply_covered_avx2(double* data, unsigned long n);
+void apply_untested_avx2(double* data, unsigned long n);
+// void apply_commented_avx2(double* data, unsigned long n); not dispatched

@@ -1,0 +1,8 @@
+// Fixture test: exercises apply_covered_avx2 only.
+void apply_covered_avx2(double* data, unsigned long n);
+
+int main() {
+  double x[4] = {};
+  apply_covered_avx2(x, 4);
+  return x[0] != 0.0;
+}

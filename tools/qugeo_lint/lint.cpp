@@ -453,6 +453,87 @@ std::vector<Violation> check_fault_site_coverage_impl(const fs::path& root) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Check 6: SIMD scalar-equivalence coverage
+// ---------------------------------------------------------------------------
+
+/// Dispatched vector kernels: identifiers ending in `_avx2` declared
+/// (followed by '(') in src/ HEADERS — the dispatch surface. TU-local
+/// helpers in .cpp files (use_avx2 guards, unreachable stubs) are not
+/// entry points and do not count. Comments and string literals are
+/// stripped, so an error message naming AVX2 does not count either.
+std::vector<std::pair<std::string, std::string>> avx2_kernels_in_src(
+    const fs::path& root) {
+  std::vector<std::pair<std::string, std::string>> kernels;  // name -> where
+  constexpr std::string_view kSuffix = "_avx2";
+  for (const fs::path& file : source_files(root / "src")) {
+    const std::string ext = file.extension().string();
+    if (ext != ".h" && ext != ".hpp") continue;
+    const std::string text = strip_comments(read_file(file), false);
+    std::size_t pos = 0;
+    while ((pos = text.find(kSuffix, pos)) != std::string::npos) {
+      const std::size_t after = pos + kSuffix.size();
+      if (after < text.size() && is_ident(text[after])) {  // _avx2_foo etc.
+        pos = after;
+        continue;
+      }
+      std::size_t begin = pos;
+      while (begin > 0 && is_ident(text[begin - 1])) --begin;
+      if (begin == pos) {  // bare `_avx2` is not a kernel name
+        pos = after;
+        continue;
+      }
+      std::size_t k = after;
+      while (k < text.size() && std::isspace(static_cast<unsigned char>(text[k])))
+        ++k;
+      if (k >= text.size() || text[k] != '(') {  // not a call/declaration
+        pos = after;
+        continue;
+      }
+      const std::string name = text.substr(begin, after - begin);
+      const bool seen = std::any_of(
+          kernels.begin(), kernels.end(),
+          [&](const auto& s) { return s.first == name; });
+      if (!seen)
+        kernels.emplace_back(
+            name, rel(file, root) + ":" + std::to_string(line_of(text, pos)));
+      pos = after;
+    }
+  }
+  return kernels;
+}
+
+std::vector<Violation> check_simd_scalar_equivalence_impl(const fs::path& root) {
+  std::vector<Violation> out;
+  const auto kernels = avx2_kernels_in_src(root);
+  if (kernels.empty()) return out;
+
+  std::string tests_text;
+  for (const fs::path& file : source_files(root / "tests"))
+    tests_text += strip_comments(read_file(file), false);
+
+  for (const auto& [name, where] : kernels) {
+    std::size_t pos = 0;
+    bool covered = false;
+    while ((pos = tests_text.find(name, pos)) != std::string::npos) {
+      const bool lead_ok = pos == 0 || !is_ident(tests_text[pos - 1]);
+      const std::size_t after = pos + name.size();
+      if (lead_ok &&
+          (after >= tests_text.size() || !is_ident(tests_text[after]))) {
+        covered = true;
+        break;
+      }
+      pos = after;
+    }
+    if (!covered)
+      out.push_back({"simd-scalar-equivalence", where,
+                     "AVX2 kernel " + name +
+                         " has no scalar-equivalence test under tests/ "
+                         "(the identifier never appears there)"});
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(const Violation& v) {
@@ -480,12 +561,16 @@ std::vector<Violation> check_fault_site_coverage(const fs::path& repo_root) {
   return check_fault_site_coverage_impl(repo_root);
 }
 
+std::vector<Violation> check_simd_scalar_equivalence(const fs::path& repo_root) {
+  return check_simd_scalar_equivalence_impl(repo_root);
+}
+
 std::vector<Violation> run_all_checks(const fs::path& repo_root) {
   std::vector<Violation> all;
   for (auto* check :
        {&check_gatekind_dispatch, &check_env_var_docs,
         &check_bench_micro_registration, &check_determinism,
-        &check_fault_site_coverage}) {
+        &check_fault_site_coverage, &check_simd_scalar_equivalence}) {
     auto found = (*check)(repo_root);
     all.insert(all.end(), found.begin(), found.end());
   }

@@ -24,6 +24,12 @@
 //     name appears there) and listed in the docs/ARCHITECTURE.md fault-site
 //     registry; an injection point nobody injects into is dead robustness
 //     code.
+//  6. SIMD scalar equivalence — every `*_avx2(` kernel entry point
+//     declared in a src/ header must appear in at least one test under
+//     tests/: the AVX2
+//     kernels carry a <= 1e-12-per-amplitude contract against their scalar
+//     twins, and a vector kernel nobody compares is a silent-corruption
+//     risk on the exact hardware CI does not cover.
 //
 // Exposed as a library so the fixture-based tests (tests/
 // test_qugeo_lint.cpp) can run each check against known-bad trees; the
@@ -67,6 +73,11 @@ struct Violation {
 /// Check 5: every fault::site("...") in src/ is covered by a test and
 /// documented in the ARCHITECTURE.md fault-site registry.
 [[nodiscard]] std::vector<Violation> check_fault_site_coverage(
+    const std::filesystem::path& repo_root);
+
+/// Check 6: every *_avx2( kernel declared in a src/ header has a
+/// scalar-equivalence test under tests/ (the identifier appears there).
+[[nodiscard]] std::vector<Violation> check_simd_scalar_equivalence(
     const std::filesystem::path& repo_root);
 
 /// All checks in order; empty result means the tree is clean.
