@@ -1,0 +1,45 @@
+// Validated environment-variable parsing shared by every QUGEO_* knob.
+//
+// Every reader used to roll its own strtoull/strtod call, and the lenient
+// ones silently mangled malformed input: `QUGEO_SAMPLES=abc` became 0 (an
+// empty corpus), `QUGEO_TRAIN=12x` became 12, and a negative `QUGEO_SEED`
+// wrapped to a huge unsigned value. These helpers are the single strict
+// path: the WHOLE value must parse, range constraints are enforced, and
+// any malformed value throws std::invalid_argument naming the variable —
+// a typo fails the run loudly instead of corrupting it.
+//
+// All integer knobs are unsigned by contract (documented in
+// docs/ARCHITECTURE.md): a leading '-' is rejected outright rather than
+// being wrapped through two's complement, including for QUGEO_SEED.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace qugeo::env {
+
+/// getenv(name) as a non-negative integer; `fallback` when unset.
+/// Throws std::invalid_argument (naming `name`) on malformed input:
+/// non-numeric, trailing junk, a leading '-', or out-of-range values.
+[[nodiscard]] std::size_t parse_env_size_t(const char* name,
+                                           std::size_t fallback);
+
+/// As parse_env_size_t, but additionally rejects 0 ("expected a positive
+/// integer"). For knobs where zero is meaningless (sample counts, thread
+/// counts, epoch intervals).
+[[nodiscard]] std::size_t parse_env_positive(const char* name,
+                                             std::size_t fallback);
+
+/// getenv(name) as an unsigned 64-bit value; `fallback` when unset.
+/// The unsigned grammar is strict: `QUGEO_SEED=-1` throws instead of
+/// silently wrapping to 2^64-1.
+[[nodiscard]] std::uint64_t parse_env_u64(const char* name,
+                                          std::uint64_t fallback);
+
+/// getenv(name) as a probability in [0, 1]; `fallback` when unset.
+/// Throws std::invalid_argument (naming `name`) otherwise.
+[[nodiscard]] Real parse_env_probability(const char* name, Real fallback);
+
+}  // namespace qugeo::env

@@ -12,6 +12,7 @@
 // caller needs them.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -71,6 +72,18 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
     cv_.wait(lk);
     lk.release();  // caller still owns the (reacquired) mutex
+  }
+
+  /// As wait(), but returns std::cv_status::timeout once `deadline` has
+  /// passed. Spurious wakeups are possible before the deadline: re-check
+  /// the predicate AND the clock in the caller's loop.
+  std::cv_status wait_until(Mutex& mu,
+                            std::chrono::steady_clock::time_point deadline)
+      QUGEO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();  // caller still owns the (reacquired) mutex
+    return status;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -125,14 +126,17 @@ class Pool {
   }
 
   static std::size_t env_default() {
-    if (const char* env = std::getenv("QUGEO_THREADS")) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(env, &end, 10);
-      if (end != env && *end == '\0' && v >= 1 && v <= 1024)
-        return static_cast<std::size_t>(v);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    const std::size_t fallback = hw == 0 ? 1 : hw;
+    // Strict by design: QUGEO_THREADS=abc used to silently fall back to
+    // hardware concurrency, hiding the typo. Malformed or out-of-range
+    // values now throw, naming the variable (common/env.h).
+    const std::size_t n = env::parse_env_positive("QUGEO_THREADS", fallback);
+    if (n > 1024)
+      throw std::invalid_argument(
+          "QUGEO_THREADS: expected a thread count in [1, 1024], got " +
+          std::to_string(n));
+    return n;
   }
 
   void work_on(Task& task) QUGEO_EXCLUDES(mutex_) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -21,16 +22,8 @@ TrainConfig apply_train_env_overrides(TrainConfig base) {
       if (base.checkpoint_every == 0) base.checkpoint_every = 1;
     }
   }
-  if (const char* every = std::getenv("QUGEO_CHECKPOINT_EVERY")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(every, &end, 10);
-    if (end == every || *end != '\0' || v == 0)
-      throw std::invalid_argument(
-          std::string("QUGEO_CHECKPOINT_EVERY: expected a positive epoch "
-                      "interval, got '") +
-          every + "'");
-    base.checkpoint_every = static_cast<std::size_t>(v);
-  }
+  base.checkpoint_every =
+      env::parse_env_positive("QUGEO_CHECKPOINT_EVERY", base.checkpoint_every);
   return base;
 }
 

@@ -1,8 +1,8 @@
 #include "data/cache.h"
 
-#include <cstdlib>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/io.h"
 #include "common/logging.h"
 
@@ -14,12 +14,6 @@ std::filesystem::path wave_path(const std::filesystem::path& base) {
 }
 std::filesystem::path vel_path(const std::filesystem::path& base) {
   return base.string() + ".vel.qgt";
-}
-
-std::size_t env_size_t(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v) return fallback;
-  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
 }
 
 }  // namespace
@@ -72,17 +66,21 @@ bool scaled_dataset_exists(const std::filesystem::path& base) {
 
 ExperimentDataConfig experiment_config_from_env() {
   ExperimentDataConfig cfg;
-  cfg.num_samples = env_size_t("QUGEO_SAMPLES", cfg.num_samples);
-  cfg.train_count = env_size_t("QUGEO_TRAIN", cfg.train_count);
-  cfg.cnn_train_samples = env_size_t("QUGEO_CNN_SAMPLES", cfg.cnn_train_samples);
-  cfg.seed = env_size_t("QUGEO_SEED", cfg.seed);
+  cfg.num_samples = env::parse_env_positive("QUGEO_SAMPLES", cfg.num_samples);
+  cfg.train_count = env::parse_env_positive("QUGEO_TRAIN", cfg.train_count);
+  cfg.cnn_train_samples =
+      env::parse_env_positive("QUGEO_CNN_SAMPLES", cfg.cnn_train_samples);
+  // QUGEO_SEED is unsigned by contract: a negative value is rejected
+  // loudly instead of wrapping through two's complement (see common/env.h
+  // and the docs/ARCHITECTURE.md env table).
+  cfg.seed = env::parse_env_u64("QUGEO_SEED", cfg.seed);
   if (cfg.train_count >= cfg.num_samples)
     cfg.train_count = cfg.num_samples * 3 / 4;
   return cfg;
 }
 
 std::size_t epochs_from_env(std::size_t fallback) {
-  return env_size_t("QUGEO_EPOCHS", fallback);
+  return env::parse_env_positive("QUGEO_EPOCHS", fallback);
 }
 
 ExperimentData load_or_build_experiment_data(const ExperimentDataConfig& config) {

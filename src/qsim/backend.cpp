@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "qsim/batched_executor.h"
@@ -14,15 +15,6 @@
 
 namespace qugeo::qsim {
 namespace {
-
-Real parse_env_probability(const char* name, const char* value) {
-  char* end = nullptr;
-  const Real v = std::strtod(value, &end);
-  if (end == value || *end != '\0' || v < 0 || v > 1)
-    throw std::invalid_argument(std::string(name) +
-                                ": expected a probability, got '" + value + "'");
-  return v;
-}
 
 /// The circuit a noiseless execution path should run: the canonical (fused)
 /// form when fusion is enabled and would change the stream — served from
@@ -79,8 +71,8 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
                                   kind + "'");
     base.backend = *parsed;
   }
-  if (const char* p = std::getenv("QUGEO_NOISE_P"))
-    base.noise.gate_error_prob = parse_env_probability("QUGEO_NOISE_P", p);
+  base.noise.gate_error_prob =
+      env::parse_env_probability("QUGEO_NOISE_P", base.noise.gate_error_prob);
   if (const char* ch = std::getenv("QUGEO_NOISE_CHANNEL")) {
     const auto parsed = parse_noise_channel(ch);
     if (!parsed)
@@ -88,26 +80,11 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
           std::string("QUGEO_NOISE_CHANNEL: unknown channel '") + ch + "'");
     base.noise.channel = *parsed;
   }
-  if (const char* r = std::getenv("QUGEO_READOUT_P"))
-    base.noise.readout_error = parse_env_probability("QUGEO_READOUT_P", r);
-  if (const char* t = std::getenv("QUGEO_TRAJECTORIES")) {
-    char* end = nullptr;
-    const long n = std::strtol(t, &end, 10);
-    if (end == t || *end != '\0' || n <= 0)
-      throw std::invalid_argument(
-          std::string("QUGEO_TRAJECTORIES: expected a positive integer, got '") +
-          t + "'");
-    base.trajectories = static_cast<std::size_t>(n);
-  }
-  if (const char* s = std::getenv("QUGEO_SHOTS")) {
-    char* end = nullptr;
-    const long n = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || n < 0)
-      throw std::invalid_argument(
-          std::string("QUGEO_SHOTS: expected a non-negative integer, got '") +
-          s + "'");
-    base.shots = static_cast<std::size_t>(n);
-  }
+  base.noise.readout_error =
+      env::parse_env_probability("QUGEO_READOUT_P", base.noise.readout_error);
+  base.trajectories =
+      env::parse_env_positive("QUGEO_TRAJECTORIES", base.trajectories);
+  base.shots = env::parse_env_size_t("QUGEO_SHOTS", base.shots);
   if (const char* f = std::getenv("QUGEO_FUSION")) {
     const std::string_view v(f);
     if (v == "on" || v == "1" || v == "true")
@@ -119,15 +96,7 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
           std::string("QUGEO_FUSION: expected on/off, got '") + f + "'");
   }
   base.simd = simd::simd_mode_from_env(base.simd);
-  if (const char* b = std::getenv("QUGEO_BATCH")) {
-    char* end = nullptr;
-    const long n = std::strtol(b, &end, 10);
-    if (end == b || *end != '\0' || n <= 0)
-      throw std::invalid_argument(
-          std::string("QUGEO_BATCH: expected a positive integer, got '") + b +
-          "'");
-    base.batch = static_cast<std::size_t>(n);
-  }
+  base.batch = env::parse_env_positive("QUGEO_BATCH", base.batch);
   return base;
 }
 
