@@ -5,6 +5,7 @@
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "qsim/executor.h"
+#include "qsim/gradient_plan.h"
 #include "qsim/observables.h"
 
 namespace qugeo::core {
@@ -40,12 +41,20 @@ void QuGeoModel::set_parameters(std::span<const Real> params) {
     decoder_->set_classical_param(i, params[theta_.size() + i]);
 }
 
+const qsim::Circuit& QuGeoModel::gradient_form(
+    std::shared_ptr<const qsim::GradientPlan>& keepalive) const {
+  if (!exec_.grad_fusion) return ansatz_;
+  keepalive = compile_cache_->gradient_plan(ansatz_);
+  return keepalive->execution_form(ansatz_);
+}
+
 qsim::StateVector QuGeoModel::run_forward(
     std::span<const data::ScaledSample* const> chunk) const {
   std::vector<const std::vector<Real>*> waves(chunk.size());
   for (std::size_t i = 0; i < chunk.size(); ++i) waves[i] = &chunk[i]->waveform;
   qsim::StateVector psi = encoder_.encode(waves);
-  qsim::run_circuit(ansatz_, theta_, psi);
+  std::shared_ptr<const qsim::GradientPlan> plan;
+  qsim::run_circuit(gradient_form(plan), theta_, psi);
   return psi;
 }
 
@@ -207,8 +216,12 @@ Real QuGeoModel::loss_and_gradient(
   const std::vector<Real> dp = decoder_->probability_grads(dec, pred_grads);
   const std::vector<Complex> cot =
       qsim::cotangent_from_probability_grads(psi, dp);
+  // Both adjoint sweeps run the SAME gradient form run_forward executed, so
+  // a fused segment's global phase rides on both |psi> and <lambda| and
+  // cancels in the 2 Re <lambda|dU|psi> contraction.
+  std::shared_ptr<const qsim::GradientPlan> plan;
   const qsim::AdjointResult adj =
-      qsim::adjoint_backward(ansatz_, theta_, std::move(psi), cot);
+      qsim::adjoint_backward(gradient_form(plan), theta_, std::move(psi), cot);
   for (std::size_t i = 0; i < adj.param_grads.size(); ++i)
     grad_out[i] += adj.param_grads[i];
 

@@ -17,7 +17,11 @@
 // measurements (ShotBackend) instead of exact probabilities.
 // Training gradients (loss_and_gradient) always use the exact noiseless
 // statevector + adjoint path, mirroring the paper's noiseless training; the
-// backend choice governs how the trained model is *read out*.
+// backend choice governs how the trained model is *read out*. The adjoint
+// pass executes the circuit's GradientPlan (qsim/gradient_plan.h — literal
+// segments between trainable slots fused, memoized in the model's
+// CompiledCircuitCache) unless ExecutionConfig::grad_fusion
+// (QUGEO_GRAD_FUSION) turns it off.
 #pragma once
 
 #include <memory>
@@ -49,8 +53,8 @@ struct ModelConfig {
   /// Simulation backend for the inference path (see header comment). The
   /// constructor applies the QUGEO_BACKEND / QUGEO_NOISE_P /
   /// QUGEO_NOISE_CHANNEL / QUGEO_READOUT_P / QUGEO_TRAJECTORIES /
-  /// QUGEO_SHOTS / QUGEO_SIMD / QUGEO_BATCH environment overrides on top
-  /// of this.
+  /// QUGEO_SHOTS / QUGEO_FUSION / QUGEO_GRAD_FUSION / QUGEO_SIMD /
+  /// QUGEO_BATCH environment overrides on top of this.
   qsim::ExecutionConfig execution;
 };
 
@@ -114,8 +118,17 @@ class QuGeoModel {
 
  private:
   /// Exact pure-state forward pass (training path; adjoint needs psi).
+  /// Executes the gradient form, so the returned state is the adjoint
+  /// pass's replay input (same global phase).
   [[nodiscard]] qsim::StateVector run_forward(
       std::span<const data::ScaledSample* const> chunk) const;
+
+  /// The circuit the training path executes: the ansatz's cached
+  /// GradientPlan form when ExecutionConfig::grad_fusion is on, the raw
+  /// ansatz otherwise. `keepalive` owns any returned plan circuit; it must
+  /// outlive the use of the reference.
+  [[nodiscard]] const qsim::Circuit& gradient_form(
+      std::shared_ptr<const qsim::GradientPlan>& keepalive) const;
 
   /// Backend-driven forward pass: encode, execute on a fresh backend from
   /// `exec`, return the Born probabilities (inference path). `stream`

@@ -95,6 +95,16 @@ ExecutionConfig apply_env_overrides(ExecutionConfig base) {
       throw std::invalid_argument(
           std::string("QUGEO_FUSION: expected on/off, got '") + f + "'");
   }
+  if (const char* f = std::getenv("QUGEO_GRAD_FUSION")) {
+    const std::string_view v(f);
+    if (v == "on" || v == "1" || v == "true")
+      base.grad_fusion = true;
+    else if (v == "off" || v == "0" || v == "false")
+      base.grad_fusion = false;
+    else
+      throw std::invalid_argument(
+          std::string("QUGEO_GRAD_FUSION: expected on/off, got '") + f + "'");
+  }
   base.simd = simd::simd_mode_from_env(base.simd);
   base.batch = env::parse_env_positive("QUGEO_BATCH", base.batch);
   return base;

@@ -72,18 +72,32 @@ struct ExecutionConfig {
   /// ShotBackend that estimates them from this many shots (make_backend
   /// does the wrapping — no call-site special-casing).
   std::size_t shots = 0;
-  std::uint64_t seed = 0x51d5eedULL;  ///< base seed for trajectory/shot streams
+  /// Base seed for trajectory/shot streams. qugeo-lint: no-env(QUGEO_SEED
+  /// seeds the data-corpus RNG; execution seeds are salted per chunk by
+  /// QuGeoModel, so an env override here would correlate every chunk).
+  std::uint64_t seed = 0x51d5eedULL;
   /// Master switch for circuit canonicalization (run fusion) on the
   /// noiseless execution paths. Off, every backend executes the original
   /// op stream verbatim — the QUGEO_FUSION=off ablation/debug mode.
   /// Results are equal either way (up to global phase, <= 1e-10); only
   /// speed changes.
   bool fusion = true;
+  /// Master switch for gradient-plan canonicalization on the TRAINING path
+  /// (gradient_plan.h): loss_and_gradient replays |psi> and sweeps <lambda|
+  /// through the gradient-canonical circuit, whose literal segments between
+  /// trainable slots are fused into kFused2Q/kFusedCtl2Q blocks. Off, the
+  /// adjoint runs the original op stream verbatim — the
+  /// QUGEO_GRAD_FUSION=off ablation/debug mode. Gradients agree either way
+  /// to <= 1e-10 (the fused segments' global phase cancels in the
+  /// 2 Re <lambda|dU|psi> contraction), pinned by
+  /// test_qsim_gradient_conformance.
+  bool grad_fusion = true;
   /// Optional shared memo of canonicalize_for_backend results, keyed by
   /// circuit structure + backend kind (see compile_cache.h for the exact
   /// key semantics). Backends consult it in run(); null means every
   /// execution probes (and, if fusable, re-fuses) its circuit locally.
   /// QuGeoModel owns one per model and injects it for every predict call.
+  /// qugeo-lint: no-env(a process-shared pointer cannot come from text).
   std::shared_ptr<CompiledCircuitCache> compile_cache;
   /// Kernel dispatch mode for this execution (common/cpu_features.h). kAuto
   /// defers to the process default (the QUGEO_SIMD environment mode, or the
@@ -105,8 +119,9 @@ struct ExecutionConfig {
 /// ("statevector" | "density" | "trajectory" | "shot"), QUGEO_NOISE_P
 /// (real), QUGEO_NOISE_CHANNEL ("depolarizing" | "amplitude_damping" |
 /// "phase_damping"), QUGEO_READOUT_P (real), QUGEO_TRAJECTORIES (integer),
-/// QUGEO_SHOTS (integer, 0 = exact), QUGEO_FUSION ("on"/"off"), QUGEO_SIMD
-/// ("auto" | "avx2" | "scalar"), QUGEO_BATCH (positive integer lane count).
+/// QUGEO_SHOTS (integer, 0 = exact), QUGEO_FUSION ("on"/"off"),
+/// QUGEO_GRAD_FUSION ("on"/"off"), QUGEO_SIMD ("auto" | "avx2" | "scalar"),
+/// QUGEO_BATCH (positive integer lane count).
 /// Unset variables leave `base` untouched. The full reference table lives
 /// in docs/ARCHITECTURE.md.
 [[nodiscard]] ExecutionConfig apply_env_overrides(ExecutionConfig base);

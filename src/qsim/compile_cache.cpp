@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qsim/gradient_plan.h"
 #include "qsim/optimizer.h"
 
 namespace qugeo::qsim {
@@ -14,19 +15,29 @@ bool same_op(const Op& a, const Op& b) {
 
 }  // namespace
 
-bool CompiledCircuitCache::matches(const Entry& entry, const Circuit& circuit,
-                                   BackendKind backend) {
-  if (entry.backend != backend || entry.num_qubits != circuit.num_qubits() ||
-      entry.num_params != circuit.num_params() ||
-      entry.ops.size() != circuit.num_ops())
+CompiledCircuitCache::StructuralKey CompiledCircuitCache::key_of(
+    const Circuit& circuit) {
+  StructuralKey key;
+  key.num_qubits = circuit.num_qubits();
+  key.num_params = static_cast<std::uint32_t>(circuit.num_params());
+  key.ops.assign(circuit.ops().begin(), circuit.ops().end());
+  key.mats.assign(circuit.matrices().begin(), circuit.matrices().end());
+  return key;
+}
+
+bool CompiledCircuitCache::matches(const StructuralKey& key,
+                                   const Circuit& circuit) {
+  if (key.num_qubits != circuit.num_qubits() ||
+      key.num_params != circuit.num_params() ||
+      key.ops.size() != circuit.num_ops())
     return false;
   const auto ops = circuit.ops();
-  for (std::size_t i = 0; i < entry.ops.size(); ++i)
-    if (!same_op(entry.ops[i], ops[i])) return false;
+  for (std::size_t i = 0; i < key.ops.size(); ++i)
+    if (!same_op(key.ops[i], ops[i])) return false;
   const auto mats = circuit.matrices();
-  if (entry.mats.size() != mats.size()) return false;
-  for (std::size_t i = 0; i < entry.mats.size(); ++i)
-    if (entry.mats[i].m != mats[i].m) return false;
+  if (key.mats.size() != mats.size()) return false;
+  for (std::size_t i = 0; i < key.mats.size(); ++i)
+    if (key.mats[i].m != mats[i].m) return false;
   return true;
 }
 
@@ -34,7 +45,7 @@ std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
     const Circuit& circuit, BackendKind backend) {
   MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
-    if (matches(entry, circuit, backend)) {
+    if (entry.backend == backend && matches(entry.key, circuit)) {
       ++hits_;
       return entry.compiled;
     }
@@ -44,10 +55,7 @@ std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
   ++compiles_;
   Entry entry;
   entry.backend = backend;
-  entry.num_qubits = circuit.num_qubits();
-  entry.num_params = static_cast<std::uint32_t>(circuit.num_params());
-  entry.ops.assign(circuit.ops().begin(), circuit.ops().end());
-  entry.mats.assign(circuit.matrices().begin(), circuit.matrices().end());
+  entry.key = key_of(circuit);
   if (has_fusable_runs(circuit) || has_fusable_two_qubit_runs(circuit))
     entry.compiled =
         std::make_shared<const Circuit>(canonicalize_for_backend(circuit));
@@ -55,6 +63,25 @@ std::shared_ptr<const Circuit> CompiledCircuitCache::canonical(
   // original by reference (and never probe this structure again).
   entries_.push_back(std::move(entry));
   return entries_.back().compiled;
+}
+
+std::shared_ptr<const GradientPlan> CompiledCircuitCache::gradient_plan(
+    const Circuit& circuit) {
+  MutexLock lock(mu_);
+  for (const PlanEntry& entry : plan_entries_) {
+    if (matches(entry.key, circuit)) {
+      ++plan_hits_;
+      return entry.plan;
+    }
+  }
+  // Miss: build under the lock so the trainer's chunk fan-out of the first
+  // loss_and_gradient group builds exactly once.
+  ++plan_compiles_;
+  PlanEntry entry;
+  entry.key = key_of(circuit);
+  entry.plan = std::make_shared<const GradientPlan>(GradientPlan::build(circuit));
+  plan_entries_.push_back(std::move(entry));
+  return plan_entries_.back().plan;
 }
 
 std::size_t CompiledCircuitCache::compile_count() const {
@@ -67,9 +94,20 @@ std::size_t CompiledCircuitCache::hit_count() const {
   return hits_;
 }
 
+std::size_t CompiledCircuitCache::plan_compile_count() const {
+  MutexLock lock(mu_);
+  return plan_compiles_;
+}
+
+std::size_t CompiledCircuitCache::plan_hit_count() const {
+  MutexLock lock(mu_);
+  return plan_hits_;
+}
+
 void CompiledCircuitCache::clear() {
   MutexLock lock(mu_);
   entries_.clear();
+  plan_entries_.clear();
 }
 
 }  // namespace qugeo::qsim

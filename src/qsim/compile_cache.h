@@ -7,6 +7,12 @@
 // exactly once per distinct (circuit structure, backend kind) and hands
 // every later execution the cached form. compile_count()/hit_count() are
 // the observable probes the tests pin.
+//
+// The cache also memoizes the TRAINING-path GradientPlan (gradient_plan.h)
+// alongside the forward entries, keyed by circuit structure alone and
+// counted by its own plan_compile_count()/plan_hit_count() probes: every
+// loss_and_gradient call across every epoch fetches the same plan after
+// one build.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 namespace qugeo::qsim {
 
 enum class BackendKind : std::uint8_t;
+class GradientPlan;
 
 /// \brief Thread-safe memo of canonicalize_for_backend (optimizer.h).
 ///
@@ -53,26 +60,55 @@ class CompiledCircuitCache {
   /// Number of lookups served from an existing entry.
   [[nodiscard]] std::size_t hit_count() const QUGEO_EXCLUDES(mu_);
 
+  /// The GradientPlan (gradient_plan.h) of `circuit`, building on first
+  /// use. Keyed by the same exact circuit structure as canonical() but
+  /// WITHOUT a backend kind — gradients always run the adjoint statevector
+  /// pass — and counted separately (plan_compile_count()/plan_hit_count()),
+  /// so training probes never mix with the forward predict counters. Never
+  /// null: an unfusable circuit yields a plan whose execution_form is the
+  /// caller's original. Thread-safe; concurrent misses build once.
+  [[nodiscard]] std::shared_ptr<const GradientPlan> gradient_plan(
+      const Circuit& circuit) QUGEO_EXCLUDES(mu_);
+
+  /// Number of GradientPlan builds performed (plan-cache misses).
+  [[nodiscard]] std::size_t plan_compile_count() const QUGEO_EXCLUDES(mu_);
+
+  /// Number of gradient_plan() lookups served from an existing entry.
+  [[nodiscard]] std::size_t plan_hit_count() const QUGEO_EXCLUDES(mu_);
+
   /// Drop every entry (counters keep accumulating).
   void clear() QUGEO_EXCLUDES(mu_);
 
  private:
-  struct Entry {
-    BackendKind backend;
+  struct StructuralKey {
     Index num_qubits;
     std::uint32_t num_params;
-    std::vector<Op> ops;        // structural key (exact, collision-free)
-    std::vector<Mat4> mats;     // dense payloads referenced by the ops
+    std::vector<Op> ops;     // structural key (exact, collision-free)
+    std::vector<Mat4> mats;  // dense payloads referenced by the ops
+  };
+
+  struct Entry {
+    BackendKind backend;
+    StructuralKey key;
     std::shared_ptr<const Circuit> compiled;  // null => identity
   };
 
-  [[nodiscard]] static bool matches(const Entry& entry, const Circuit& circuit,
-                                    BackendKind backend);
+  struct PlanEntry {
+    StructuralKey key;
+    std::shared_ptr<const GradientPlan> plan;  // never null
+  };
+
+  [[nodiscard]] static StructuralKey key_of(const Circuit& circuit);
+  [[nodiscard]] static bool matches(const StructuralKey& key,
+                                    const Circuit& circuit);
 
   mutable Mutex mu_;
   std::vector<Entry> entries_ QUGEO_GUARDED_BY(mu_);
+  std::vector<PlanEntry> plan_entries_ QUGEO_GUARDED_BY(mu_);
   std::size_t compiles_ QUGEO_GUARDED_BY(mu_) = 0;
   std::size_t hits_ QUGEO_GUARDED_BY(mu_) = 0;
+  std::size_t plan_compiles_ QUGEO_GUARDED_BY(mu_) = 0;
+  std::size_t plan_hits_ QUGEO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qugeo::qsim

@@ -384,6 +384,72 @@ TEST(BatchedModel, PredictBatchedMatchesUnbatchedWithRaggedTail) {
   }
 }
 
+TEST(BatchedBackend, ShotWrapAppliesOutsideBatchKnob) {
+  // make_backend applies the ShotBackend wrap OUTSIDE whatever the batch
+  // knob selects for the inner statevector: the returned kind is kShot and
+  // the sampled distribution is unaffected by the inner batch width.
+  Rng rng(51);
+  const Index nq = 4;
+  const Circuit c = frozen_test_circuit(nq, rng);
+  ExecutionConfig cfg;
+  cfg.shots = 2048;
+  cfg.seed = 7;
+  cfg.simd = simd::SimdMode::kScalar;
+
+  cfg.batch = 1;
+  const auto b1 = make_backend(cfg, nq);
+  ASSERT_EQ(b1->kind(), BackendKind::kShot);
+  b1->run(c, {});
+  const auto p1 = b1->probabilities();
+
+  cfg.batch = 8;
+  const auto b8 = make_backend(cfg, nq);
+  ASSERT_EQ(b8->kind(), BackendKind::kShot);
+  b8->run(c, {});
+  const auto p8 = b8->probabilities();
+
+  ASSERT_EQ(p8.size(), p1.size());
+  for (std::size_t k = 0; k < p1.size(); ++k)
+    EXPECT_EQ(p8[k], p1[k]) << "outcome " << k;
+}
+
+TEST(BatchedModel, ShotsDisableChunkGroupingBitIdentically) {
+  // Combined QUGEO_BATCH + QUGEO_SHOTS semantics: predict_with only groups
+  // chunks into SoA lanes on the exact statevector path (shots == 0), so
+  // with shots > 0 the batch knob must be inert — {batch=8, shots=4096}
+  // returns the same per-chunk sampled realizations as {batch=1,
+  // shots=4096}, bit for bit, never lane-averaged ones.
+  core::ModelConfig mc;
+  Rng rng(52);
+  core::QuGeoModel model(mc, rng);
+
+  std::vector<data::ScaledSample> samples(5);
+  for (auto& s : samples) {
+    s.waveform.resize(256);
+    s.velocity.resize(64);
+    rng.fill_uniform(s.waveform, -1, 1);
+    rng.fill_uniform(s.velocity, 0, 1);
+  }
+  std::vector<const data::ScaledSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+
+  qsim::ExecutionConfig exec = model.execution_config();
+  exec.simd = simd::SimdMode::kScalar;
+  exec.shots = 4096;
+  exec.batch = 1;
+  const auto sampled = model.predict_with(ptrs, exec);
+  exec.batch = 8;
+  const auto sampled_batched = model.predict_with(ptrs, exec);
+
+  ASSERT_EQ(sampled_batched.size(), sampled.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    ASSERT_EQ(sampled_batched[i].size(), sampled[i].size()) << "sample " << i;
+    for (std::size_t k = 0; k < sampled[i].size(); ++k)
+      EXPECT_EQ(sampled_batched[i][k], sampled[i][k])
+          << "sample " << i << " pixel " << k;
+  }
+}
+
 TEST(BatchedStateVectorBasics, RejectsInvalidConstruction) {
   EXPECT_THROW(BatchedStateVector(29, 2), std::invalid_argument);
   EXPECT_THROW(BatchedStateVector(4, 0), std::invalid_argument);

@@ -1,0 +1,21 @@
+// Fixture for check 7 (execution-config-env): every ExecutionConfig
+// field needs a strict QUGEO_* override routed through
+// apply_env_overrides and a docs env-table row, unless waived.
+#pragma once
+
+#include <cstddef>
+
+struct ExecutionConfig {
+  /// Routed strictly and documented: clean.
+  std::size_t alpha = 1;
+  /// Never assigned in apply_env_overrides: the unrouted-knob violation.
+  std::size_t beta = 2;
+  /// qugeo-lint: no-env(derived at runtime; a text override would lie).
+  std::size_t gamma = 3;
+  /// Routed through a lenient C parser: the lenient-parser violation.
+  std::size_t delta = 4;
+  /// Routed strictly but missing its docs row: the undocumented violation.
+  std::size_t echo = 5;
+};
+
+ExecutionConfig apply_env_overrides(ExecutionConfig base);

@@ -1,7 +1,7 @@
 // qugeo_lint: repo-specific invariant checker.
 //
 // Generic tooling (compiler warnings, clang-tidy, sanitizers) cannot know
-// the conventions this codebase depends on. qugeo_lint enforces the four
+// the conventions this codebase depends on. qugeo_lint enforces the seven
 // that have historically drifted or would fail silently:
 //
 //  1. GateKind dispatch exhaustiveness — every `switch` over GateKind in
@@ -30,6 +30,16 @@
 //     kernels carry a <= 1e-12-per-amplitude contract against their scalar
 //     twins, and a vector kernel nobody compares is a silent-corruption
 //     risk on the exact hardware CI does not cover.
+//  7. ExecutionConfig env routing — every field of `struct
+//     ExecutionConfig` (src/qsim/backend.h) must be assigned
+//     (`base.<field>`) inside apply_env_overrides in backend.cpp, have a
+//     matching `QUGEO_<FIELD>` (or `QUGEO_<FIELD>_*`) row in the
+//     docs/ARCHITECTURE.md environment table, and never be parsed with a
+//     lenient C parser (strtoul/atoi/...) — the throwing common/env.h
+//     parsers only. A field may opt out with a `qugeo-lint:
+//     no-env(<reason>)` comment on its declaration or doc comment. A
+//     config knob without an env override cannot be flipped in CI legs or
+//     prod smoke runs, which is how ablation coverage silently rots.
 //
 // Exposed as a library so the fixture-based tests (tests/
 // test_qugeo_lint.cpp) can run each check against known-bad trees; the
@@ -78,6 +88,12 @@ struct Violation {
 /// Check 6: every *_avx2( kernel declared in a src/ header has a
 /// scalar-equivalence test under tests/ (the identifier appears there).
 [[nodiscard]] std::vector<Violation> check_simd_scalar_equivalence(
+    const std::filesystem::path& repo_root);
+
+/// Check 7: every ExecutionConfig field is env-routed through
+/// apply_env_overrides with a strict parser and documented in the
+/// docs/ARCHITECTURE.md env table (or carries a no-env waiver).
+[[nodiscard]] std::vector<Violation> check_execution_config_env(
     const std::filesystem::path& repo_root);
 
 /// All checks in order; empty result means the tree is clean.
